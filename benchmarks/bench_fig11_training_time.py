@@ -1,0 +1,26 @@
+"""Fig. 11: model training time — single core vs multi-core."""
+
+import numpy as np
+
+from repro.bench import fig11_training_time, report, time_training
+
+
+def test_fig11(benchmark):
+    result = report(fig11_training_time())
+    rows = result.row_dicts()
+    # Training time grows with the sample count at fixed k and jobs.
+    for dataset in {r["dataset"] for r in rows}:
+        for k in (2, 16):
+            series = [r for r in rows
+                      if r["dataset"] == dataset and r["k"] == k and r["jobs"] == 1]
+            series.sort(key=lambda r: r["n_samples"])
+            assert series[-1]["seconds"] > series[0]["seconds"]
+    # Multi-core should win on the largest configuration.
+    big = [r for r in rows if r["n_samples"] == max(r["n_samples"] for r in rows)
+           and r["k"] == 16]
+    single = next(r for r in big if r["jobs"] == 1)
+    multi = next(r for r in big if r["jobs"] == 4)
+    assert multi["seconds"] < single["seconds"] * 1.5  # at worst comparable
+
+    features = np.random.default_rng(0).normal(0, 1, (512, 256))
+    benchmark(lambda: time_training(features, 4, 1, max_iter=5))

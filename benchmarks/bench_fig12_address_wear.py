@@ -1,0 +1,13 @@
+"""Fig. 12: CDF of per-address write counts (wear distribution)."""
+
+from repro.bench import fig12_address_wear, report
+
+
+def test_fig12(benchmark):
+    result = report(fig12_address_wear())
+    for row in result.row_dicts():
+        # The paper: writes spread across the chip — the overwhelming
+        # majority of addresses see few writes regardless of k.
+        assert row["P(X<=15)"] > 0.9
+        assert row["P(X<=5)"] <= row["P(X<=10)"] <= row["P(X<=15)"]
+    benchmark(lambda: [r["max_writes"] for r in result.row_dicts()])

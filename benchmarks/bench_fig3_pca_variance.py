@@ -1,0 +1,15 @@
+"""Fig. 3: PCA variance ratio vs number of principal components."""
+
+import numpy as np
+
+from repro.bench import fig3_pca_variance, report
+from repro.ml import PCA
+from repro.workloads import MNISTLikeWorkload
+
+
+def test_fig3(benchmark):
+    result = report(fig3_pca_variance())
+    curve = result.column("cumulative_variance_ratio")
+    assert curve[-1] > 0.999
+    images = MNISTLikeWorkload(seed=0).generate(256).astype(np.float64)
+    benchmark(lambda: PCA(n_components=32, seed=0).fit(images))

@@ -1,0 +1,15 @@
+"""Fig. 4: the SSE elbow curve used to choose K."""
+
+import numpy as np
+
+from repro.bench import fig4_elbow, report
+from repro.ml import KMeans
+from repro.workloads import MNISTLikeWorkload
+
+
+def test_fig4(benchmark):
+    result = report(fig4_elbow())
+    sse = result.column("sse")
+    assert sse[0] > sse[-1]
+    images = MNISTLikeWorkload(seed=0).generate(256).astype(np.float64)
+    benchmark(lambda: KMeans(5, n_init=1, seed=0).fit(images))

@@ -1,0 +1,16 @@
+"""Fig. 7: end-to-end write latency per dataset (normalised)."""
+
+from repro.bench import fig7_write_latency, report
+
+
+def test_fig7(benchmark):
+    result = report(fig7_write_latency())
+    rows = {r["dataset"]: r for r in result.row_dicts()}
+    # PNW never writes more lines than in-place DCW on any dataset, and on
+    # the large multi-line items (where whole lines can be skipped) it
+    # beats Conventional outright — the paper's Fig. 7 shape.
+    for row in rows.values():
+        assert row["PNW"] <= row["DCW"] + 1e-9
+    for dataset in ("cifar", "seq2"):
+        assert rows[dataset]["PNW"] < 1.0
+    benchmark(lambda: sum(r["PNW"] for r in result.row_dicts()))

@@ -1,0 +1,12 @@
+"""Fig. 8: average write latency vs K on the PubMed-like stream."""
+
+from repro.bench import fig8_latency_vs_k, report
+
+
+def test_fig8(benchmark):
+    result = report(fig8_latency_vs_k())
+    latency = result.column("latency_us_per_item")
+    # The paper's claim: more clusters -> more similar replacements ->
+    # fewer written lines -> lower latency.
+    assert latency[-1] <= latency[0]
+    benchmark(lambda: result.column("lines_per_item"))

@@ -1,0 +1,17 @@
+"""Fig. 9: written cache lines per request vs persistent K/V stores."""
+
+from repro.bench import fig9_kv_stores, report
+from repro.stores import PathHashKVStore
+
+
+def test_fig9(benchmark):
+    result = report(fig9_kv_stores())
+    for row in result.row_dicts():
+        # The paper's ordering: PNW fewest, then path hashing, then the
+        # tree/LSM structures.
+        assert row["PNW"] < row["PathHash"]
+        assert row["PathHash"] < max(row["FPTree"], row["NoveLSM"])
+
+    store = PathHashKVStore(8, 64, capacity=4096)
+    counter = iter(range(10**9))
+    benchmark(lambda: store.put(str(next(counter)).encode(), b"v"))

@@ -1,0 +1,11 @@
+"""Table I: memory technology comparison (constants + latency model)."""
+
+from repro.bench import report, table1_memory_technologies
+from repro.nvm import LatencyModel
+
+
+def test_table1(benchmark):
+    result = report(table1_memory_technologies())
+    assert len(result.rows) == 6
+    model = LatencyModel()
+    benchmark(lambda: model.write_ns(48))

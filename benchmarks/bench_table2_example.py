@@ -1,0 +1,9 @@
+"""Table II + §IV walkthrough: the 6-entry PCM steering example."""
+
+from repro.bench import report, table2_clustering_example
+
+
+def test_table2(benchmark):
+    result = report(table2_clustering_example())
+    assert result.column("bit_flips") == [1, 1]
+    benchmark(table2_clustering_example)

@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table or figure of the paper (printing and
+persisting the result table under ``results/``) and times a
+representative kernel with pytest-benchmark.  Set ``PNW_BENCH_SCALE`` to
+grow workloads toward paper scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _print_header():
+    print("\n=== PNW reproduction benchmarks (tables under results/) ===")
+    yield
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

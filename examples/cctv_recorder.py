@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Multi-camera CCTV recorder on NVM: the paper's video scenario (§VI-C).
+
+A DVR persists frames from several cameras into one PCM buffer.  A FIFO
+ring buffer overwrites whatever frame is oldest — usually a *different*
+camera's frame, so nearly every bit flips.  PNW clusters the buffer by
+content, which naturally groups frames per camera (and per scene), and
+steers each incoming frame onto a stale frame of the same camera — where
+the static background already matches.
+
+Run:  python examples/cctv_recorder.py [--frames N] [--cameras C]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.bench import run_pnw_stream, run_scheme_stream
+from repro.workloads import SHERBROOKE, VideoProfile, VideoWorkload
+
+
+def record_streams(
+    cameras: list[VideoWorkload], n_frames: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Interleave the cameras irregularly, like a motion-triggered DVR.
+
+    Cameras fire at different rates, so a FIFO buffer slot usually holds a
+    *different* camera's frame than the one arriving to overwrite it.
+    """
+    picks = rng.integers(0, len(cameras), size=n_frames)
+    per_camera = [
+        cam.generate(int((picks == i).sum())) for i, cam in enumerate(cameras)
+    ]
+    cursors = [0] * len(cameras)
+    frames = np.empty((n_frames, cameras[0].item_bytes), dtype=np.uint8)
+    for t, cam_id in enumerate(picks):
+        frames[t] = per_camera[cam_id][cursors[cam_id]]
+        cursors[cam_id] += 1
+    return frames
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, default=480,
+                        help="frames to record after warm-up")
+    parser.add_argument("--buffer", type=int, default=240,
+                        help="frames the NVM buffer holds")
+    parser.add_argument("--cameras", type=int, default=4)
+    args = parser.parse_args()
+
+    cameras = [
+        VideoWorkload(
+            VideoProfile(name=f"cam{i}", width=SHERBROOKE.width,
+                         height=SHERBROOKE.height, channels=1,
+                         n_objects=SHERBROOKE.n_objects),
+            seed=100 + i,
+        )
+        for i in range(args.cameras)
+    ]
+    frame_kb = cameras[0].item_bytes / 1024
+    mux_rng = np.random.default_rng(42)
+    warmup = record_streams(cameras, args.buffer, mux_rng)
+    stream = record_streams(cameras, args.frames, mux_rng)
+
+    print(f"DVR: {args.cameras} cameras, {frame_kb:.1f} KiB/frame, "
+          f"{args.buffer}-frame NVM buffer, recording {args.frames} frames\n")
+
+    # Baseline: FIFO ring buffer with data-comparison writes (the
+    # strongest non-steering recorder).
+    ring = run_scheme_stream(None, warmup, stream)
+
+    # PNW: each frame steered onto the most similar stale frame.
+    pnw, store = run_pnw_stream(
+        warmup, stream, n_clusters=args.cameras * 2, seed=11,
+        pca_components=32,
+    )
+
+    def row(name, metrics):
+        print(f"  {name:18s} {metrics.bits_per_512:8.1f} bits/512b   "
+              f"{metrics.lines_per_item:6.1f} lines/frame   "
+              f"{metrics.nvm_latency_per_item / 1000:7.1f} us/frame")
+
+    print(f"  {'recorder':18s} {'bit updates':>14s} {'cache lines':>16s} "
+          f"{'NVM time':>16s}")
+    row("FIFO ring buffer", ring)
+    row("PNW recorder", pnw)
+
+    saved_bits = 1 - pnw.bits_per_512 / ring.bits_per_512
+    saved_lines = 1 - pnw.lines_per_item / ring.lines_per_item
+    print(f"\nPNW saves {saved_bits:.0%} of programmed cells and "
+          f"{saved_lines:.0%} of written cache lines")
+    print(f"model prediction overhead: "
+          f"{store.manager.mean_predict_ns / 1000:.1f} us/frame")
+
+    # Endurance translates into lifetime: with PCM cells surviving ~1e8
+    # writes, fewer programmed cells per frame = proportionally more
+    # recorded hours before wear-out.
+    lifetime_gain = ring.bits_per_512 / pnw.bits_per_512
+    print(f"estimated recorder lifetime extension: {lifetime_gain:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for legacy editable installs.
+
+The offline environment ships setuptools 65.5 without the ``wheel``
+package, so PEP 660 editable installs fail; ``pip install -e .`` falls
+back to this shim. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

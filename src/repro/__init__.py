@@ -1,0 +1,82 @@
+"""Predict and Write (PNW) — ICDE 2021 reproduction.
+
+A key/value store for hybrid DRAM-NVM systems that extends NVM lifetime
+by steering each write to the free memory location whose current content
+minimises the Hamming distance to the new value, using k-means clustering
+over bucket contents (Kargar, Litz & Nawab, ICDE 2021).
+
+Quick start::
+
+    import numpy as np
+    from repro import PNWConfig, PNWStore
+
+    config = PNWConfig(num_buckets=1024, value_bytes=56, n_clusters=8, seed=7)
+    store = PNWStore(config)
+    store.warm_up(np.random.default_rng(7).integers(0, 256, (1024, 56), dtype=np.uint8))
+    report = store.put(b"sensor-1", b"reading-payload")
+    print(report.bit_updates, "cells programmed")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every table and figure.
+"""
+
+from .core import (
+    DynamicAddressPool,
+    ModelManager,
+    OperationReport,
+    PNWConfig,
+    PNWStore,
+    StoreMetrics,
+)
+from .errors import (
+    CapacityError,
+    ConfigError,
+    DuplicateKeyError,
+    KeyNotFoundError,
+    NotFittedError,
+    PoolExhaustedError,
+    ReproError,
+)
+from .ml import PCA, KMeans, MiniBatchKMeans, choose_k
+from .nvm import HybridMemory, LatencyModel, SimulatedNVM, WearStats
+from .writeschemes import (
+    Captopril,
+    ConventionalWrite,
+    DataComparisonWrite,
+    FlipNWrite,
+    MinShift,
+    default_schemes,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PNWConfig",
+    "PNWStore",
+    "OperationReport",
+    "StoreMetrics",
+    "DynamicAddressPool",
+    "ModelManager",
+    "KMeans",
+    "MiniBatchKMeans",
+    "PCA",
+    "choose_k",
+    "SimulatedNVM",
+    "HybridMemory",
+    "LatencyModel",
+    "WearStats",
+    "ConventionalWrite",
+    "DataComparisonWrite",
+    "FlipNWrite",
+    "MinShift",
+    "Captopril",
+    "default_schemes",
+    "ReproError",
+    "CapacityError",
+    "KeyNotFoundError",
+    "DuplicateKeyError",
+    "PoolExhaustedError",
+    "NotFittedError",
+    "ConfigError",
+    "__version__",
+]

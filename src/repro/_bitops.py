@@ -1,0 +1,142 @@
+"""Packed-bit primitives shared across the library.
+
+All NVM contents in this reproduction are represented as numpy ``uint8``
+arrays of *packed* bytes (8 bits per element).  This module provides the
+vectorised bit-level operations that the NVM simulator, the write schemes,
+and the featurizers are built on:
+
+* population count (number of set bits) of packed byte arrays,
+* Hamming distance between equal-length byte buffers,
+* packing/unpacking between byte buffers and 0/1 bit vectors,
+* circular bit rotation of a packed buffer (used by MinShift),
+* integer <-> fixed-width byte-buffer conversion helpers.
+
+The popcount of a byte array uses a precomputed 256-entry table, which is
+the standard trick for vectorised popcounts in numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "POPCOUNT_TABLE",
+    "popcount",
+    "hamming_distance",
+    "pack_bits",
+    "unpack_bits",
+    "rotate_bits",
+    "bytes_to_array",
+    "array_to_bytes",
+    "int_to_buffer",
+    "buffer_to_int",
+]
+
+#: Number of set bits for every possible byte value.
+POPCOUNT_TABLE: np.ndarray = np.unpackbits(
+    np.arange(256, dtype=np.uint8)[:, None], axis=1
+).sum(axis=1).astype(np.uint16)
+
+
+def popcount(buf: np.ndarray) -> int:
+    """Total number of set bits in a packed ``uint8`` array.
+
+    Works on arrays of any shape; the count is over all elements.
+    """
+    buf = np.ascontiguousarray(buf, dtype=np.uint8)
+    return int(POPCOUNT_TABLE[buf].sum())
+
+
+def popcount_rows(buf: np.ndarray) -> np.ndarray:
+    """Per-row popcount of a 2-D packed ``uint8`` array.
+
+    Returns an ``int64`` vector with one count per row.
+    """
+    buf = np.ascontiguousarray(buf, dtype=np.uint8)
+    if buf.ndim != 2:
+        raise ValueError(f"expected a 2-D array, got shape {buf.shape}")
+    return POPCOUNT_TABLE[buf].sum(axis=1).astype(np.int64)
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Hamming distance (number of differing bits) between packed buffers.
+
+    ``a`` and ``b`` must have the same shape.
+    """
+    a = np.ascontiguousarray(a, dtype=np.uint8)
+    b = np.ascontiguousarray(b, dtype=np.uint8)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return popcount(np.bitwise_xor(a, b))
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a 0/1 bit vector (or matrix, row-wise) into ``uint8`` bytes.
+
+    The bit length must be a multiple of 8.  Bit 0 of the vector becomes
+    the most-significant bit of byte 0 (numpy ``packbits`` convention).
+    """
+    bits = np.asarray(bits)
+    if bits.shape[-1] % 8 != 0:
+        raise ValueError(f"bit length {bits.shape[-1]} is not a multiple of 8")
+    return np.packbits(bits.astype(np.uint8), axis=-1)
+
+
+def unpack_bits(buf: np.ndarray) -> np.ndarray:
+    """Unpack packed ``uint8`` bytes into a 0/1 bit vector (row-wise)."""
+    buf = np.ascontiguousarray(buf, dtype=np.uint8)
+    return np.unpackbits(buf, axis=-1)
+
+
+def rotate_bits(buf: np.ndarray, shift: int) -> np.ndarray:
+    """Circularly rotate a packed buffer *left* by ``shift`` bit positions.
+
+    A positive shift moves each bit toward lower bit indices (the bit at
+    position ``shift`` moves to position 0), matching ``np.roll`` with a
+    negative offset on the unpacked representation.
+    """
+    buf = np.ascontiguousarray(buf, dtype=np.uint8)
+    nbits = buf.size * 8
+    if nbits == 0:
+        return buf.copy()
+    shift %= nbits
+    if shift == 0:
+        return buf.copy()
+    bits = np.unpackbits(buf)
+    return np.packbits(np.roll(bits, -shift))
+
+
+def bytes_to_array(data: bytes, size: int | None = None) -> np.ndarray:
+    """Convert ``bytes`` to a ``uint8`` array, optionally zero-padded.
+
+    If ``size`` is given, the result is exactly ``size`` bytes: shorter
+    inputs are right-padded with zeros and longer inputs raise
+    ``ValueError`` (silently truncating stored values would corrupt data).
+    """
+    arr = np.frombuffer(data, dtype=np.uint8)
+    if size is None:
+        return arr.copy()
+    if arr.size > size:
+        raise ValueError(f"value of {arr.size} bytes exceeds bucket size {size}")
+    if arr.size == size:
+        return arr.copy()
+    out = np.zeros(size, dtype=np.uint8)
+    out[: arr.size] = arr
+    return out
+
+
+def array_to_bytes(arr: np.ndarray) -> bytes:
+    """Convert a ``uint8`` array back to ``bytes``."""
+    return np.ascontiguousarray(arr, dtype=np.uint8).tobytes()
+
+
+def int_to_buffer(value: int, nbytes: int) -> np.ndarray:
+    """Encode a non-negative integer as a big-endian fixed-width buffer."""
+    if value < 0:
+        raise ValueError("only non-negative integers can be encoded")
+    return bytes_to_array(int(value).to_bytes(nbytes, "big"), nbytes)
+
+
+def buffer_to_int(buf: np.ndarray) -> int:
+    """Decode a big-endian fixed-width buffer back to an integer."""
+    return int.from_bytes(array_to_bytes(buf), "big")

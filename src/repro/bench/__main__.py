@@ -1,0 +1,7 @@
+"""``python -m repro.bench`` — regenerate paper tables/figures."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,80 @@
+"""Command-line runner for the reproduction experiments.
+
+Lets a user regenerate any single table/figure without pytest::
+
+    python -m repro.bench list
+    python -m repro.bench table2
+    python -m repro.bench fig6-amazon fig6-uniform
+    python -m repro.bench all            # everything (minutes)
+
+Results are printed and saved under ``results/`` exactly as the
+benchmark suite does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from . import figures
+from .metrics import ExperimentResult
+from .reporting import report
+
+__all__ = ["EXPERIMENTS", "main"]
+
+
+def _fig6_runner(dataset: str) -> Callable[[], ExperimentResult]:
+    return lambda: figures.fig6_bit_updates(dataset)
+
+
+#: experiment id -> zero-argument callable producing its result.
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "table1": figures.table1_memory_technologies,
+    "table2": figures.table2_clustering_example,
+    "fig3": figures.fig3_pca_variance,
+    "fig4": figures.fig4_elbow,
+    **{
+        f"fig6-{dataset}": _fig6_runner(dataset)
+        for dataset in figures.FIG6_DATASETS
+    },
+    "fig7": figures.fig7_write_latency,
+    "fig8": figures.fig8_latency_vs_k,
+    "fig9": figures.fig9_kv_stores,
+    "fig10": figures.fig10_workload_shift,
+    "fig11": figures.fig11_training_time,
+    "fig12": figures.fig12_address_wear,
+    "fig13": figures.fig13_bit_wear,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate tables/figures of the PNW paper.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (see 'list'), or 'all', or 'list'",
+    )
+    args = parser.parse_args(argv)
+
+    requested = list(args.experiments)
+    if requested == ["list"]:
+        for exp_id in EXPERIMENTS:
+            print(exp_id)
+        return 0
+    if requested == ["all"]:
+        requested = list(EXPERIMENTS)
+
+    unknown = [e for e in requested if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    for exp_id in requested:
+        report(EXPERIMENTS[exp_id]())
+    return 0

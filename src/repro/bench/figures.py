@@ -1,0 +1,561 @@
+"""One function per table/figure of the paper's evaluation (§VI).
+
+Each function runs the experiment at a laptop-sized scale that preserves
+the *shape* of the paper's result (who wins, by what factor, where the
+crossovers are) and returns an :class:`ExperimentResult`.  Set the
+``PNW_BENCH_SCALE`` environment variable above 1.0 to grow workloads
+toward paper scale.
+
+The mapping from experiment ids to paper artifacts is DESIGN.md §4;
+observed-vs-paper outcomes are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..ml.elbow import choose_k
+from ..ml.kmeans import KMeans
+from ..ml.pca import PCA
+from ..nvm.latency import TECHNOLOGIES
+from ..stores.fptree import FPTreeStore
+from ..stores.novelsm import NoveLSMStore
+from ..stores.pathhash_store import PathHashKVStore
+from ..workloads.images import FashionLikeWorkload, MNISTLikeWorkload
+from ..workloads.mixture import MixtureWorkload
+from ..workloads.registry import make_workload
+from ..workloads.video import VideoProfile, VideoWorkload
+from ..writeschemes import default_schemes
+from .metrics import ExperimentResult
+from .runner import (
+    PNWStreamSession,
+    run_kv_store_stream,
+    run_pnw_kv_stream,
+    run_pnw_stream,
+    run_scheme_stream,
+    time_training,
+)
+
+__all__ = [
+    "table1_memory_technologies",
+    "table2_clustering_example",
+    "fig3_pca_variance",
+    "fig4_elbow",
+    "fig6_bit_updates",
+    "fig7_write_latency",
+    "fig8_latency_vs_k",
+    "fig9_kv_stores",
+    "fig10_workload_shift",
+    "fig11_training_time",
+    "fig12_address_wear",
+    "fig13_bit_wear",
+    "FIG6_DATASETS",
+]
+
+
+def _scale(n: int) -> int:
+    """Apply the PNW_BENCH_SCALE multiplier (min 1)."""
+    factor = float(os.environ.get("PNW_BENCH_SCALE", "1"))
+    return max(1, int(round(n * factor)))
+
+
+def _pca_for(item_bytes: int) -> int | None:
+    """The paper applies PCA to large values (§V-C); 1 KB is our cutoff."""
+    return 32 if item_bytes >= 1024 else None
+
+
+# --------------------------------------------------------------------- #
+# Tables                                                                 #
+# --------------------------------------------------------------------- #
+
+
+def table1_memory_technologies() -> ExperimentResult:
+    """Table I: read/write latency and endurance per technology."""
+    result = ExperimentResult(
+        exp_id="table1",
+        title="Comparison of memory technologies",
+        columns=["category", "read_latency_ns", "write_latency_ns", "endurance_log10"],
+    )
+    for tech in TECHNOLOGIES.values():
+        result.add_row(
+            tech.name,
+            f"{tech.read_latency_ns[0]:g}-{tech.read_latency_ns[1]:g}",
+            f"{tech.write_latency_ns[0]:g}-{tech.write_latency_ns[1]:g}",
+            f"{tech.endurance_log10[0]:g}-{tech.endurance_log10[1]:g}",
+        )
+    return result
+
+
+#: The paper's Table II: a 6-entry PCM, 8 bits per entry.
+_TABLE2_CONTENTS = np.array(
+    [
+        [0, 0, 0, 0, 0, 1, 1, 1],
+        [0, 0, 0, 0, 1, 0, 1, 1],
+        [0, 0, 1, 0, 1, 1, 0, 0],
+        [0, 0, 1, 1, 1, 1, 0, 0],
+        [1, 1, 0, 1, 0, 0, 0, 0],
+        [0, 1, 1, 1, 0, 0, 0, 0],
+    ],
+    dtype=np.uint8,
+)
+_TABLE2_D1 = np.array([0, 0, 0, 0, 1, 1, 1, 1], dtype=np.uint8)
+_TABLE2_D2 = np.array([1, 1, 1, 1, 0, 0, 0, 0], dtype=np.uint8)
+
+
+def table2_clustering_example(seed: int = 0) -> ExperimentResult:
+    """Table II + §IV walkthrough: cluster the example PCM, steer d1/d2.
+
+    The paper's claim: with 3 clusters, both new items land on a location
+    needing exactly one bit flip (versus up to 6 in place).
+    """
+    model = KMeans(3, n_init=10, seed=seed).fit(_TABLE2_CONTENTS.astype(np.float64))
+    result = ExperimentResult(
+        exp_id="table2",
+        title="Example PCM clustering (Table II) and steered writes",
+        columns=["item", "predicted_cluster", "chosen_index", "bit_flips"],
+        params={"n_clusters": 3},
+    )
+    for name, item in (("d1", _TABLE2_D1), ("d2", _TABLE2_D2)):
+        cluster = model.predict_one(item.astype(np.float64))
+        members = np.flatnonzero(model.labels_ == cluster)
+        flips = [int(np.count_nonzero(_TABLE2_CONTENTS[m] != item)) for m in members]
+        best = int(members[int(np.argmin(flips))])
+        result.add_row(name, int(cluster), best, int(min(flips)))
+    mean_in_place = float(
+        np.mean([np.count_nonzero(row != _TABLE2_D1) for row in _TABLE2_CONTENTS])
+    )
+    result.notes.append(
+        f"an unsteered in-place write of d1 flips {mean_in_place:.1f} bits "
+        "on average across the six locations"
+    )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Model-selection figures                                                #
+# --------------------------------------------------------------------- #
+
+
+def fig3_pca_variance(n_samples: int = 2000, seed: int = 0) -> ExperimentResult:
+    """Fig. 3: cumulative PCA variance ratio vs number of components
+    (MNIST-like images, one feature per pixel as in the paper)."""
+    workload = MNISTLikeWorkload(seed=seed)
+    images = workload.generate(_scale(n_samples)).astype(np.float64)
+    pca = PCA().fit(images)
+    curve = pca.cumulative_variance_ratio()
+    result = ExperimentResult(
+        exp_id="fig3",
+        title="PCA variance ratio vs principal components (MNIST-like)",
+        columns=["n_components", "cumulative_variance_ratio"],
+        params={"n_samples": images.shape[0], "n_features": images.shape[1]},
+    )
+    for k in (1, 2, 5, 10, 20, 50, 100, 200, 400, len(curve)):
+        result.add_row(k, float(curve[min(k, len(curve)) - 1]))
+    threshold = int(np.searchsorted(curve, 0.80) + 1)
+    result.notes.append(
+        f"{threshold} components explain 80% of the variance "
+        f"(paper keeps the components covering >80%)"
+    )
+    result.params["components_for_80pct"] = threshold
+    return result
+
+
+def fig4_elbow(n_samples: int = 1500, seed: int = 0) -> ExperimentResult:
+    """Fig. 4: SSE vs K with the knee marked (MNIST-like images)."""
+    workload = MNISTLikeWorkload(seed=seed)
+    images = workload.generate(_scale(n_samples)).astype(np.float64)
+    elbow = choose_k(images, list(range(1, 11)), seed=seed)
+    result = ExperimentResult(
+        exp_id="fig4",
+        title="Sum of Squared Error vs K (elbow method, MNIST-like)",
+        columns=["k", "sse"],
+        params={"n_samples": images.shape[0], "chosen_k": elbow.best_k},
+    )
+    for k, sse in zip(elbow.k_values, elbow.sse):
+        result.add_row(int(k), float(sse))
+    result.notes.append(f"elbow at k={elbow.best_k} (paper found k=5 on MNIST)")
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Fig. 6: bit updates per 512 bits, per dataset                          #
+# --------------------------------------------------------------------- #
+
+#: dataset name -> (n_old, n_new) at scale 1.  Panel letters follow §VI.
+FIG6_DATASETS: dict[str, tuple[int, int]] = {
+    "amazon": (1000, 4000),      # 6a
+    "roadnet": (1000, 4000),     # 6b
+    "sherbrooke": (400, 1000),   # 6c
+    "seq2": (300, 800),          # 6d
+    "normal": (2000, 6000),      # 6e
+    "uniform": (2000, 6000),     # 6f
+    "docwords": (1000, 4000),    # §VI-B PubMed stream
+    "cifar": (400, 1000),        # §VI-C CIFAR stream
+}
+
+DEFAULT_K_SWEEP = (1, 2, 3, 5, 8, 10, 14, 20, 30)
+
+
+def fig6_bit_updates(
+    dataset: str,
+    k_values: tuple[int, ...] = DEFAULT_K_SWEEP,
+    *,
+    seed: int = 7,
+    n_old: int | None = None,
+    n_new: int | None = None,
+) -> ExperimentResult:
+    """One Fig. 6 panel: bit updates / 512 bits for every method vs K.
+
+    Baselines are K-independent and appear as constant columns.  PNW is
+    reported twice, reflecting the paper's two descriptions of the pool:
+    ``PNW`` probes the predicted cluster's free list for the
+    minimum-Hamming location (§IV, the library default) and ``PNW-pop``
+    pops the next free address (Algorithm 2's pseudocode — the variant
+    whose k=1 point "is not different from DCW", §VI-D).  The prediction
+    latency per item (the second series the paper plots) is the last
+    column.
+    """
+    default_old, default_new = FIG6_DATASETS[dataset]
+    n_old = _scale(default_old) if n_old is None else n_old
+    n_new = _scale(default_new) if n_new is None else n_new
+    workload = make_workload(dataset, seed=seed)
+    old, new = workload.split_old_new(n_old, n_new)
+
+    baselines: dict[str, float] = {}
+    for scheme in default_schemes():
+        metrics = run_scheme_stream(scheme, old, new)
+        baselines[scheme.name] = metrics.bits_per_512
+
+    result = ExperimentResult(
+        exp_id=f"fig6-{dataset}",
+        title=f"Bit updates per 512 bits vs K ({dataset})",
+        columns=["k", "PNW", "PNW-pop", "Conventional", "DCW", "FNW", "MinShift",
+                 "CAP16", "predict_us"],
+        params={"n_old": n_old, "n_new": n_new, "item_bytes": workload.item_bytes},
+    )
+    crossover: int | None = None
+    best_baseline = min(v for k, v in baselines.items() if k != "Conventional")
+    pca = _pca_for(workload.item_bytes)
+    for k in k_values:
+        metrics, store = run_pnw_stream(old, new, k, seed=seed, pca_components=pca)
+        pop_metrics, _ = run_pnw_stream(
+            old, new, k, seed=seed, pca_components=pca, probe_limit=0
+        )
+        pnw = metrics.bits_per_512
+        if crossover is None and pnw < best_baseline:
+            crossover = k
+        result.add_row(
+            k,
+            pnw,
+            pop_metrics.bits_per_512,
+            baselines["Conventional"],
+            baselines["DCW"],
+            baselines["FNW"],
+            baselines["MinShift"],
+            baselines["CAP16"],
+            store.manager.mean_predict_ns / 1000.0,
+        )
+    if crossover is not None:
+        result.notes.append(f"PNW beats every RBW baseline from k={crossover}")
+    else:
+        result.notes.append("PNW did not cross below the best baseline "
+                            "(expected on the uniform dataset)")
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Fig. 7 / Fig. 8: write latency                                         #
+# --------------------------------------------------------------------- #
+
+FIG7_DATASETS = ("normal", "uniform", "amazon", "roadnet", "cifar", "seq2")
+
+
+def fig7_write_latency(
+    datasets: tuple[str, ...] = FIG7_DATASETS,
+    *,
+    k: int = 16,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Fig. 7: end-to-end write latency per item, normalised to the
+    conventional method, for every dataset and method.
+
+    Latency follows the paper's methodology exactly: "the write latency
+    is calculated based on the number of cache lines that are written per
+    item" (§VI-E) — i.e. cache lines x the 600 ns 3D-XPoint line cost.
+    The measured (Python) model-prediction time is reported as its own
+    column rather than folded in, since the paper reports it separately
+    (the 5-6 us of Fig. 6) and our interpreter-level timing would swamp
+    sub-microsecond line costs on small items.
+    """
+    result = ExperimentResult(
+        exp_id="fig7",
+        title="End-to-end write latency (normalised to Conventional)",
+        columns=["dataset", "Conventional", "DCW", "FNW", "MinShift", "CAP16",
+                 "PNW", "pnw_predict_us"],
+        params={"k": k},
+    )
+    for dataset in datasets:
+        default_old, default_new = FIG6_DATASETS[dataset]
+        workload = make_workload(dataset, seed=seed)
+        old, new = workload.split_old_new(
+            _scale(min(default_old, 800)), _scale(min(default_new, 2000))
+        )
+        latencies: dict[str, float] = {}
+        for scheme in default_schemes():
+            metrics = run_scheme_stream(scheme, old, new)
+            latencies[scheme.name] = metrics.nvm_latency_per_item
+        pnw_metrics, _ = run_pnw_stream(
+            old, new, k, seed=seed, pca_components=_pca_for(workload.item_bytes)
+        )
+        base = latencies["Conventional"]
+        result.add_row(
+            dataset,
+            1.0,
+            latencies["DCW"] / base,
+            latencies["FNW"] / base,
+            latencies["MinShift"] / base,
+            latencies["CAP16"] / base,
+            pnw_metrics.nvm_latency_per_item / base,
+            pnw_metrics.predict_ns_per_item / 1000.0,
+        )
+    return result
+
+
+def fig8_latency_vs_k(
+    k_values: tuple[int, ...] = (1, 2, 4, 8, 16, 30),
+    *,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Fig. 8: average write latency vs K on the PubMed-like stream,
+    insert:delete = 1:1 (live window ~ zone/2 keeps every put paired with
+    a delete at steady state)."""
+    workload = make_workload("docwords", seed=seed)
+    old, new = workload.split_old_new(_scale(1000), _scale(4000))
+    result = ExperimentResult(
+        exp_id="fig8",
+        title="Average write latency vs K (PubMed-like)",
+        columns=["k", "latency_us_per_item", "lines_per_item", "predict_us"],
+        params={"n_old": old.shape[0], "n_new": new.shape[0]},
+    )
+    for k in k_values:
+        metrics, _ = run_pnw_stream(old, new, k, seed=seed)
+        result.add_row(
+            k,
+            metrics.nvm_latency_per_item / 1000.0,
+            metrics.lines_per_item,
+            metrics.predict_ns_per_item / 1000.0,
+        )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Fig. 9: K/V store comparison                                           #
+# --------------------------------------------------------------------- #
+
+FIG9_DATASETS = ("normal", "docwords", "mnist")
+
+
+def fig9_kv_stores(
+    datasets: tuple[str, ...] = FIG9_DATASETS,
+    *,
+    n_items: int = 1500,
+    k: int = 8,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Fig. 9: written NVM cache lines per request — PNW (Fig. 2a
+    architecture) vs FPTree, NoveLSM, and path hashing.
+
+    Protocol per §VI-A: insert n items, delete n/2.
+    """
+    n = _scale(n_items)
+    result = ExperimentResult(
+        exp_id="fig9",
+        title="Average written cache lines per request",
+        columns=["dataset", "PNW", "PathHash", "FPTree", "NoveLSM"],
+        params={"n_items": n, "k": k},
+    )
+    for dataset in datasets:
+        workload = make_workload(dataset, seed=seed)
+        values = workload.generate(n)
+        value_bytes = workload.item_bytes
+        pnw = run_pnw_kv_stream(values, k, seed=seed)
+        rows: dict[str, float] = {}
+        for cls in (PathHashKVStore, FPTreeStore, NoveLSMStore):
+            store = cls(8, value_bytes, capacity=int(n * 1.5))
+            rows[cls.name] = run_kv_store_stream(store, values)
+        result.add_row(dataset, pnw, rows["PathHash"], rows["FPTree"], rows["NoveLSM"])
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Fig. 10: workload shift                                                #
+# --------------------------------------------------------------------- #
+
+
+def fig10_workload_shift(
+    *,
+    k: int = 20,
+    seed: int = 7,
+    chunk: int = 300,
+) -> ExperimentResult:
+    """Fig. 10: MNIST -> Fashion-MNIST drift across four phases.
+
+    Phase 1 streams in-distribution items; phase 2 mixes 2:1 foreign
+    items (performance degrades immediately); phase 3 is all-foreign
+    under the stale model; phase 4 retrains on the (now foreign) zone and
+    recovers.  Counts are the paper's at 1/10 scale by default.
+
+    Runs with the Algorithm-2 pool (plain pop): what Fig. 10 plots is the
+    cost of cluster *misprediction* under a stale model, which min-Hamming
+    probing would partially mask.
+    """
+    mnist = MNISTLikeWorkload(seed=seed)
+    fashion = FashionLikeWorkload(seed=seed + 1)
+    mixed = MixtureWorkload([mnist, fashion], weights=[1.0, 2.0], seed=seed + 2)
+
+    old = mnist.generate(_scale(2800))
+    session = PNWStreamSession(
+        old, k, seed=seed, pca_components=_pca_for(mnist.item_bytes),
+        probe_limit=0,
+    )
+    phases = [
+        ("phase1-mnist", mnist.generate(_scale(2700)), False),
+        ("phase2-mixed", mixed.generate(_scale(4500)), False),
+        ("phase3-fashion", fashion.generate(_scale(1200)), False),
+        ("phase4-fashion+retrain", fashion.generate(_scale(2800)), True),
+    ]
+    result = ExperimentResult(
+        exp_id="fig10",
+        title="Bit updates over time while the workload shifts",
+        columns=["phase", "chunk_start", "bits_per_512"],
+        params={"k": k, "n_old": old.shape[0]},
+    )
+    item_bits = (mnist.item_bytes + 8) * 8
+    index = 0
+    phase_means: dict[str, float] = {}
+    for name, items, retrain_first in phases:
+        if retrain_first:
+            session.store.retrain()
+        per_item: list[int] = []
+        session.run(items, per_item=per_item)
+        per_item_arr = np.asarray(per_item, dtype=np.float64)
+        phase_means[name] = float(per_item_arr.mean()) * 512.0 / item_bits
+        for start in range(0, len(per_item), chunk):
+            window = per_item_arr[start : start + chunk]
+            result.add_row(name, index + start, float(window.mean()) * 512.0 / item_bits)
+        index += len(per_item)
+    result.notes.append(
+        "phase means (bits/512): "
+        + ", ".join(f"{k}={v:.1f}" for k, v in phase_means.items())
+    )
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Fig. 11: training time, single vs multi core                           #
+# --------------------------------------------------------------------- #
+
+
+def fig11_training_time(
+    k_values: tuple[int, ...] = (2, 4, 8, 16),
+    sample_sizes: tuple[int, ...] = (250, 1000, 4000),
+    *,
+    seed: int = 7,
+) -> ExperimentResult:
+    """Fig. 11: k-means training time vs sample count, 1 core vs 4 cores,
+    on both video feeds (frames downscaled to keep the sweep minutes-long;
+    the scaling *shape* — time grows with k and samples, multicore wins at
+    large sizes — is resolution independent)."""
+    profiles = (
+        VideoProfile(name="sherbrooke-small", width=32, height=32, channels=1),
+        VideoProfile(name="seq2-small", width=32, height=24, channels=3,
+                     n_objects=10, max_speed=2.5),
+    )
+    result = ExperimentResult(
+        exp_id="fig11",
+        title="Model training time: single core vs 4 workers",
+        columns=["dataset", "k", "n_samples", "jobs", "seconds"],
+    )
+    max_size = max(sample_sizes)
+    for profile in profiles:
+        frames = VideoWorkload(profile, seed=seed).generate(_scale(max_size))
+        features = frames.astype(np.float64)
+        for k in k_values:
+            for size in sample_sizes:
+                subset = features[: _scale(size)]
+                for jobs in (1, 4):
+                    seconds = time_training(subset, k, jobs, seed=seed)
+                    result.add_row(profile.name, k, subset.shape[0], jobs, seconds)
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Fig. 12 / Fig. 13: wear leveling CDFs                                  #
+# --------------------------------------------------------------------- #
+
+
+def _wear_run(k: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    """Shared driver: MNIST+Fashion mix, ~4 updates per word on average.
+
+    Uses the Algorithm-2 pool (plain pop, ``probe_limit=0``) — the
+    configuration whose wear behaviour the paper's Figures 12/13 plot,
+    where the number of clusters alone controls within-cluster
+    similarity.  Returns (per-address write counts, per-bit update
+    counts).
+    """
+    mnist = MNISTLikeWorkload(seed=seed)
+    fashion = FashionLikeWorkload(seed=seed + 1)
+    mixed = MixtureWorkload([mnist, fashion], seed=seed + 2)
+    n_old = _scale(1400)
+    old = mixed.generate(n_old)
+    new = mixed.generate(n_old * 4)  # 4 updates per address on average
+    _, store = run_pnw_stream(
+        old, new, k, seed=seed, track_bit_wear=True, probe_limit=0,
+        pca_components=_pca_for(mixed.item_bytes),
+    )
+    stats = store.nvm.stats
+    assert stats.bit_wear is not None
+    return stats.writes_per_address.copy(), stats.bit_wear.ravel().copy()
+
+
+def _cdf_at(counts: np.ndarray, thresholds: tuple[int, ...]) -> list[float]:
+    counts = np.asarray(counts)
+    return [float((counts <= t).mean()) for t in thresholds]
+
+
+def fig12_address_wear(
+    k_values: tuple[int, ...] = (5, 30), *, seed: int = 7
+) -> ExperimentResult:
+    """Fig. 12: CDF of per-address write counts for k=5 and k=30."""
+    thresholds = (3, 5, 10, 15)
+    result = ExperimentResult(
+        exp_id="fig12",
+        title="Max update addresses as CDFs",
+        columns=["k", "max_writes"] + [f"P(X<={t})" for t in thresholds],
+    )
+    for k in k_values:
+        writes, _ = _wear_run(k, seed)
+        result.add_row(k, int(writes.max()), *_cdf_at(writes, thresholds))
+    return result
+
+
+def fig13_bit_wear(
+    k_values: tuple[int, ...] = (5, 30), *, seed: int = 7
+) -> ExperimentResult:
+    """Fig. 13: CDF of per-bit update counts for k=5 and k=30.
+
+    The paper's headline: higher K tightens the bit-level distribution
+    (more even wear), visible as a larger P(X<=4) at k=30.
+    """
+    thresholds = (1, 2, 4, 8)
+    result = ExperimentResult(
+        exp_id="fig13",
+        title="Bit-level wear leveling as CDFs",
+        columns=["k", "max_bit_updates"] + [f"P(X<={t})" for t in thresholds],
+    )
+    for k in k_values:
+        _, bit_wear = _wear_run(k, seed)
+        result.add_row(k, int(bit_wear.max()), *_cdf_at(bit_wear, thresholds))
+    return result

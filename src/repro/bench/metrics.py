@@ -1,0 +1,97 @@
+"""Result containers for reproduced tables and figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ExperimentResult", "StreamMetrics"]
+
+
+@dataclass
+class StreamMetrics:
+    """Aggregates of one write stream (one curve point of Fig. 6/7/8).
+
+    ``bit_updates`` includes auxiliary metadata bits (flip bits, shift
+    fields, masks) so schemes pay for their own bookkeeping, as in the
+    paper's comparisons.
+    """
+
+    items: int = 0
+    item_bits: int = 0
+    bit_updates: int = 0
+    aux_bit_updates: int = 0
+    words_touched: int = 0
+    lines_touched: int = 0
+    nvm_latency_ns: float = 0.0
+    predict_ns: float = 0.0
+
+    @property
+    def bits_per_512(self) -> float:
+        """Bit updates (data + aux) normalised per 512 bits written —
+        the y-axis of Fig. 6."""
+        total_bits = self.items * self.item_bits
+        if total_bits == 0:
+            return 0.0
+        return (self.bit_updates + self.aux_bit_updates) * 512.0 / total_bits
+
+    @property
+    def lines_per_item(self) -> float:
+        """Mean written cache lines per item (Figures 8 and 9)."""
+        if self.items == 0:
+            return 0.0
+        return self.lines_touched / self.items
+
+    @property
+    def latency_ns_per_item(self) -> float:
+        """Modeled NVM time plus measured prediction time per item — the
+        honest end-to-end decomposition (§VI-E narrative)."""
+        if self.items == 0:
+            return 0.0
+        return (self.nvm_latency_ns + self.predict_ns) / self.items
+
+    @property
+    def nvm_latency_per_item(self) -> float:
+        """Modeled NVM write time per item — the paper's Fig. 7/8 metric
+        ("write latency is calculated based on the number of cache lines
+        that are written per item")."""
+        if self.items == 0:
+            return 0.0
+        return self.nvm_latency_ns / self.items
+
+    @property
+    def predict_ns_per_item(self) -> float:
+        """Measured model prediction time per item (Fig. 6's second
+        series)."""
+        if self.items == 0:
+            return 0.0
+        return self.predict_ns / self.items
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced artifact: identifier, parameters, and a row table."""
+
+    exp_id: str
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    params: dict[str, Any] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one table row (must match ``columns``)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"{len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column (for assertions on curve shapes)."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def row_dicts(self) -> list[dict[str, Any]]:
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]

@@ -1,0 +1,63 @@
+"""Plain-text rendering and persistence of experiment results.
+
+Benchmarks both print their tables (so ``pytest benchmarks/`` output is a
+readable lab notebook) and save them under ``results/`` for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from .metrics import ExperimentResult
+
+__all__ = ["render", "save", "report"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render(result: ExperimentResult) -> str:
+    """Render a result as an aligned monospace table."""
+    lines = [f"== {result.exp_id}: {result.title} =="]
+    if result.params:
+        params = ", ".join(f"{k}={v}" for k, v in result.params.items())
+        lines.append(f"params: {params}")
+    table = [result.columns] + [
+        [_format_cell(v) for v in row] for row in result.rows
+    ]
+    widths = [max(len(row[i]) for row in table) for i in range(len(result.columns))]
+    header, *body = table
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def results_dir() -> Path:
+    """Directory for persisted tables (override with PNW_RESULTS_DIR)."""
+    path = Path(os.environ.get("PNW_RESULTS_DIR", "results"))
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def save(result: ExperimentResult) -> Path:
+    """Persist the rendered table; returns the file path."""
+    path = results_dir() / f"{result.exp_id}.txt"
+    path.write_text(render(result) + "\n")
+    return path
+
+
+def report(result: ExperimentResult) -> ExperimentResult:
+    """Print and save a result; returns it for chaining/assertions."""
+    text = render(result)
+    print("\n" + text)
+    save(result)
+    return result

@@ -1,0 +1,20 @@
+"""PNW core: the paper's contribution (store, pool, model lifecycle)."""
+
+from .address_pool import DynamicAddressPool
+from .config import PNWConfig
+from .featurizer import BitFeaturizer, ByteFeaturizer, Featurizer, make_featurizer
+from .model_manager import ModelManager
+from .store import OperationReport, PNWStore, StoreMetrics
+
+__all__ = [
+    "PNWConfig",
+    "PNWStore",
+    "OperationReport",
+    "StoreMetrics",
+    "DynamicAddressPool",
+    "ModelManager",
+    "Featurizer",
+    "BitFeaturizer",
+    "ByteFeaturizer",
+    "make_featurizer",
+]

@@ -1,0 +1,171 @@
+"""The dynamic address pool (paper §V-A2, Fig. 5, Algorithm 1).
+
+One free-list per k-means cluster, holding the NVM addresses whose
+*current contents* the model assigned to that cluster.  A PUT asks the
+pool for an address from the predicted cluster; when that cluster is
+exhausted the pool walks the caller-supplied fallback order (clusters
+sorted by centroid distance, §V-C).  Deleted addresses are recycled into
+the cluster of the data they still hold (Algorithm 3, lines 3-4).
+
+The pool also keeps the paper's per-address availability flag — here a
+boolean vector — which guards against double-release and lets the store
+compute its live fraction against the load factor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import PoolExhaustedError
+
+__all__ = ["DynamicAddressPool"]
+
+
+class DynamicAddressPool:
+    """Per-cluster free-lists over a fixed address range."""
+
+    def __init__(self, n_clusters: int, num_addresses: int) -> None:
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        if num_addresses < 1:
+            raise ValueError(f"num_addresses must be >= 1, got {num_addresses}")
+        self.n_clusters = n_clusters
+        self.num_addresses = num_addresses
+        self._free_lists: list[list[int]] = [[] for _ in range(n_clusters)]
+        self._available = np.zeros(num_addresses, dtype=bool)
+        self._cluster_of = np.full(num_addresses, -1, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+
+    def rebuild(self, labels: np.ndarray, free_addresses: np.ndarray) -> None:
+        """Reset the pool from a fresh clustering (Algorithm 1).
+
+        ``labels[i]`` is the cluster of address ``free_addresses[i]``.
+        Addresses not listed become unavailable (they hold live data).
+        """
+        labels = np.asarray(labels, dtype=np.int64)
+        free_addresses = np.asarray(free_addresses, dtype=np.int64)
+        if labels.shape != free_addresses.shape:
+            raise ValueError(
+                f"labels {labels.shape} and addresses {free_addresses.shape} differ"
+            )
+        if labels.size and not (0 <= labels.min() and labels.max() < self.n_clusters):
+            raise ValueError("label out of cluster range")
+        for free_list in self._free_lists:
+            free_list.clear()
+        self._available[:] = False
+        self._cluster_of[:] = -1
+        for address, label in zip(free_addresses, labels):
+            self._free_lists[label].append(int(address))
+            self._available[address] = True
+            self._cluster_of[address] = label
+
+    def get(self, cluster: int, fallback_order: np.ndarray | None = None) -> int:
+        """Pop a free address from ``cluster`` (Algorithm 2, line 2).
+
+        Falls back along ``fallback_order`` (nearest-centroid-first) when
+        the cluster is empty; raises :class:`PoolExhaustedError` when no
+        cluster has a free address.
+        """
+        candidates = (
+            [cluster]
+            if fallback_order is None
+            else list(np.asarray(fallback_order, dtype=np.int64))
+        )
+        if fallback_order is None:
+            # Still scan the others so a single-cluster drought does not
+            # fail a request the pool could serve.
+            candidates += [c for c in range(self.n_clusters) if c != cluster]
+        for candidate in candidates:
+            free_list = self._free_lists[int(candidate)]
+            if free_list:
+                address = free_list.pop(0)
+                self._available[address] = False
+                self._cluster_of[address] = -1
+                return address
+        raise PoolExhaustedError(
+            f"no free address in any of {self.n_clusters} clusters"
+        )
+
+    def get_best(
+        self,
+        cluster: int,
+        scorer: Callable[[np.ndarray], np.ndarray],
+        probe_limit: int,
+        fallback_order: np.ndarray | None = None,
+    ) -> int:
+        """Pop the *best-matching* free address of ``cluster`` (§IV).
+
+        The paper's PNW "determines the best memory location ... by
+        computing the minimum hamming distance between the new data and
+        existing free memory locations"; clustering bounds the search to
+        one free list.  ``scorer`` maps candidate addresses to Hamming
+        distances; at most ``probe_limit`` candidates from the front of
+        the free list are scored (the whole list with ``probe_limit < 0``).
+        ``probe_limit == 0`` degrades to the plain FIFO pop of
+        Algorithm 2's pseudocode — kept as an ablation.
+        """
+        if probe_limit == 0:
+            return self.get(cluster, fallback_order)
+        candidates = (
+            [cluster]
+            if fallback_order is None
+            else list(np.asarray(fallback_order, dtype=np.int64))
+        )
+        if fallback_order is None:
+            candidates += [c for c in range(self.n_clusters) if c != cluster]
+        for candidate in candidates:
+            free_list = self._free_lists[int(candidate)]
+            if not free_list:
+                continue
+            probes = free_list if probe_limit < 0 else free_list[:probe_limit]
+            scores = scorer(np.asarray(probes, dtype=np.int64))
+            best = int(np.argmin(scores))
+            address = free_list.pop(best)
+            self._available[address] = False
+            self._cluster_of[address] = -1
+            return address
+        raise PoolExhaustedError(
+            f"no free address in any of {self.n_clusters} clusters"
+        )
+
+    def release(self, address: int, cluster: int) -> None:
+        """Recycle a freed address into ``cluster`` (Algorithm 3, line 4)."""
+        if not 0 <= address < self.num_addresses:
+            raise ValueError(f"address {address} out of range")
+        if not 0 <= cluster < self.n_clusters:
+            raise ValueError(f"cluster {cluster} out of range")
+        if self._available[address]:
+            raise ValueError(f"address {address} is already in the pool")
+        self._free_lists[cluster].append(int(address))
+        self._available[address] = True
+        self._cluster_of[address] = cluster
+
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, address: int) -> bool:
+        return bool(self._available[address])
+
+    @property
+    def total_free(self) -> int:
+        """Free addresses across all clusters."""
+        return int(self._available.sum())
+
+    @property
+    def free_fraction(self) -> float:
+        """Fraction of the address range currently free."""
+        return self.total_free / self.num_addresses
+
+    def cluster_sizes(self) -> list[int]:
+        """Free-list length per cluster (Fig. 5's table column)."""
+        return [len(free_list) for free_list in self._free_lists]
+
+    def free_addresses(self) -> np.ndarray:
+        """All currently free addresses (sorted)."""
+        return np.flatnonzero(self._available)
+
+    def cluster_of(self, address: int) -> int:
+        """Cluster a free address is filed under (-1 if not in the pool)."""
+        return int(self._cluster_of[address])

@@ -1,0 +1,136 @@
+"""Configuration for the PNW key/value store."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+
+__all__ = ["PNWConfig"]
+
+
+@dataclass(frozen=True)
+class PNWConfig:
+    """All tunables of a :class:`~repro.core.store.PNWStore`.
+
+    The defaults mirror the paper's evaluation setup where it states one
+    (k from the Fig. 6 sweeps, 4-byte words, 64-byte cache lines, load
+    factor-driven retraining) and sensible engineering choices elsewhere.
+
+    Parameters
+    ----------
+    num_buckets:
+        Capacity of the NVM data zone, in values.
+    value_bytes:
+        Fixed size of stored values.
+    key_bytes:
+        Fixed key width; keys are zero-padded.  Each bucket stores
+        ``key_bytes + value_bytes`` (the K/V pair, §V-A).
+    n_clusters:
+        K for the k-means model.
+    index_placement:
+        ``"dram"`` (Fig. 2a — wear-free, rebuilt on recovery) or
+        ``"nvm"`` (Fig. 2b — persistent path hashing, wear accounted).
+    featurizer:
+        ``"bit"`` — one feature per bit (exact Hamming geometry, right for
+        small values); ``"byte"`` — one feature per byte (cheap for large
+        values); ``"auto"`` — bit up to 128-byte buckets, byte above.
+    pca_components:
+        Project features with PCA before clustering (``None`` disables).
+        The paper applies PCA for large values such as 4 KB pages.
+    update_mode:
+        ``"endurance"`` — UPDATE = DELETE + steered PUT (paper's choice);
+        ``"latency"`` — UPDATE writes in place through the index.
+    load_factor:
+        When the live fraction of the zone exceeds this, the model manager
+        schedules a retrain (§V-C).
+    auto_train_fraction:
+        Live fraction that triggers the *first* training of a store that
+        started empty (a store warmed with ``warm_up`` trains immediately).
+    retrain_check_interval:
+        How many mutations between load-factor checks.
+    probe_limit:
+        Free-list candidates scored per PUT to find the minimum-Hamming
+        target within the predicted cluster (§IV).  ``0`` degrades to a
+        plain FIFO pop (Algorithm 2's simplified pseudocode); ``-1``
+        scores the whole free list.
+    n_init, max_iter:
+        K-means restart count and Lloyd iteration cap.
+    seed:
+        Seed for every stochastic component.
+    word_bytes, cacheline_bytes:
+        Accounting granularities of the simulated device.
+    track_bit_wear:
+        Enable per-bit wear counters (Fig. 13).
+    persist_flags:
+        Keep the per-bucket validity bitmap on NVM so a DRAM-index store
+        can :meth:`recover` after a crash.  The paper's Fig. 2a
+        architecture keeps flags with the DRAM index (no NVM cost, no
+        crash recovery); set ``False`` to reproduce that exactly.
+    """
+
+    num_buckets: int
+    value_bytes: int
+    key_bytes: int = 8
+    n_clusters: int = 8
+    index_placement: str = "dram"
+    featurizer: str = "auto"
+    pca_components: int | None = None
+    update_mode: str = "endurance"
+    load_factor: float = 0.9
+    auto_train_fraction: float = 0.1
+    retrain_check_interval: int = 128
+    probe_limit: int = 64
+    n_init: int = 2
+    max_iter: int = 50
+    seed: int | None = None
+    word_bytes: int = 4
+    cacheline_bytes: int = 64
+    track_bit_wear: bool = False
+    persist_flags: bool = True
+    kmeans_jobs: int = field(default=1)
+
+    def __post_init__(self) -> None:
+        if self.num_buckets <= 0:
+            raise ConfigError(f"num_buckets must be positive, got {self.num_buckets}")
+        if self.value_bytes <= 0:
+            raise ConfigError(f"value_bytes must be positive, got {self.value_bytes}")
+        if self.key_bytes <= 0:
+            raise ConfigError(f"key_bytes must be positive, got {self.key_bytes}")
+        if self.n_clusters < 1:
+            raise ConfigError(f"n_clusters must be >= 1, got {self.n_clusters}")
+        if self.index_placement not in ("dram", "nvm"):
+            raise ConfigError(
+                f"index_placement must be 'dram' or 'nvm', got {self.index_placement!r}"
+            )
+        if self.featurizer not in ("auto", "bit", "byte"):
+            raise ConfigError(
+                f"featurizer must be 'auto', 'bit' or 'byte', got {self.featurizer!r}"
+            )
+        if self.update_mode not in ("endurance", "latency"):
+            raise ConfigError(
+                f"update_mode must be 'endurance' or 'latency', got {self.update_mode!r}"
+            )
+        if not 0.0 < self.load_factor <= 1.0:
+            raise ConfigError(f"load_factor must be in (0, 1], got {self.load_factor}")
+        if not 0.0 <= self.auto_train_fraction <= 1.0:
+            raise ConfigError(
+                f"auto_train_fraction must be in [0, 1], got {self.auto_train_fraction}"
+            )
+        if self.bucket_bytes % self.word_bytes != 0:
+            raise ConfigError(
+                f"bucket size {self.bucket_bytes} (key_bytes + value_bytes) must "
+                f"be a multiple of word_bytes={self.word_bytes}"
+            )
+
+    @property
+    def bucket_bytes(self) -> int:
+        """Bytes per data-zone bucket: the stored K/V pair."""
+        return self.key_bytes + self.value_bytes
+
+    @property
+    def resolved_featurizer(self) -> str:
+        """The concrete featurizer after resolving ``"auto"``."""
+        if self.featurizer != "auto":
+            return self.featurizer
+        return "bit" if self.bucket_bytes <= 128 else "byte"

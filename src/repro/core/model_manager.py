@@ -1,0 +1,125 @@
+"""Model lifecycle: training, prediction, and load-factor-driven retraining.
+
+The manager owns the featurizer + k-means pair (both DRAM-resident and
+crash-reconstructable, §V-A1), tracks prediction latency — the overhead
+the paper reports alongside Fig. 6 — and decides *when* to retrain: the
+load factor warns "that the system will need to be retrained in the near
+future" (§V-C), and the Fig. 10 experiment retrains explicitly at a phase
+boundary.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..errors import NotFittedError
+from ..ml.kmeans import KMeans
+from .config import PNWConfig
+from .featurizer import Featurizer, make_featurizer
+
+__all__ = ["ModelManager"]
+
+
+class ModelManager:
+    """Featurizer + k-means with retraining policy and latency accounting."""
+
+    def __init__(self, config: PNWConfig) -> None:
+        self.config = config
+        self.model: KMeans | None = None
+        self.featurizer: Featurizer | None = None
+        self.model_version = 0
+        self.train_count = 0
+        self.predict_count = 0
+        self.predict_ns_total = 0
+        self.last_train_seconds = 0.0
+
+    @property
+    def is_trained(self) -> bool:
+        """Whether a model is available for predictions."""
+        return self.model is not None
+
+    # ------------------------------------------------------------------ #
+
+    def train(self, rows: np.ndarray) -> None:
+        """(Re)train on the current data-zone contents (Algorithm 1).
+
+        ``rows`` is the packed ``(n, bucket_bytes)`` matrix of bucket
+        contents.  A fresh featurizer is fitted alongside the model so PCA
+        axes track the current data distribution.
+        """
+        rows = np.atleast_2d(np.ascontiguousarray(rows, dtype=np.uint8))
+        n_clusters = min(self.config.n_clusters, rows.shape[0])
+        started = time.perf_counter()
+        featurizer = make_featurizer(
+            self.config.resolved_featurizer,
+            self.config.pca_components,
+            self.config.seed,
+        )
+        features = featurizer.fit_transform(rows)
+        model = KMeans(
+            n_clusters,
+            n_init=self.config.n_init,
+            max_iter=self.config.max_iter,
+            seed=self.config.seed,
+            n_jobs=self.config.kmeans_jobs,
+        )
+        model.fit(features)
+        self.last_train_seconds = time.perf_counter() - started
+        self.featurizer = featurizer
+        self.model = model
+        self.model_version += 1
+        self.train_count += 1
+
+    def labels_for(self, rows: np.ndarray) -> np.ndarray:
+        """Cluster labels for many buckets (pool rebuilds)."""
+        if self.model is None or self.featurizer is None:
+            raise NotFittedError("train() has not been called")
+        return self.model.predict(self.featurizer.transform(rows))
+
+    def predict(self, bucket: np.ndarray) -> int:
+        """Cluster of one bucket's contents (Algorithm 2, line 1).
+
+        Timed with a monotonic clock; the accumulated mean is the
+        "latency of prediction per item" the paper reports in Fig. 6.
+        """
+        if self.model is None or self.featurizer is None:
+            raise NotFittedError("train() has not been called")
+        started = time.perf_counter_ns()
+        label = self.model.predict_one(self.featurizer.transform_one(bucket))
+        self.predict_ns_total += time.perf_counter_ns() - started
+        self.predict_count += 1
+        return label
+
+    def fallback_order(self, bucket: np.ndarray) -> np.ndarray:
+        """All clusters sorted nearest-first (§V-C).
+
+        ``order[0]`` is the predicted cluster, so the PUT path gets the
+        prediction and its fallbacks from one distance computation.  Timed
+        like :meth:`predict`.
+        """
+        if self.model is None or self.featurizer is None:
+            raise NotFittedError("train() has not been called")
+        started = time.perf_counter_ns()
+        order = self.model.centroid_order_by_distance(
+            self.featurizer.transform_one(bucket)
+        )
+        self.predict_ns_total += time.perf_counter_ns() - started
+        self.predict_count += 1
+        return order
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def mean_predict_ns(self) -> float:
+        """Mean measured prediction latency per item, in nanoseconds."""
+        if self.predict_count == 0:
+            return 0.0
+        return self.predict_ns_total / self.predict_count
+
+    def should_retrain(self, live_fraction: float) -> bool:
+        """Load-factor policy: retrain before clusters run dry (§V-C)."""
+        if not self.is_trained:
+            return live_fraction >= self.config.auto_train_fraction
+        return live_fraction >= self.config.load_factor

@@ -1,0 +1,439 @@
+"""The PNW key/value store (paper §V, Figures 2 and 5, Algorithms 1-3).
+
+``PNWStore`` wires the four components of the paper's architecture
+together: the ML model and dynamic address pool on DRAM, the hash index
+on DRAM or NVM, and the K/V data zone on NVM.
+
+The store's PUT path is Algorithm 2: predict the cluster of the
+to-be-written pair, pop the most similar free address from the pool,
+data-comparison-write the pair there, and update the index.  DELETE is
+Algorithm 3: reset the entry's flag, re-label the freed address by the
+data it still holds, and recycle it into the pool.  UPDATE follows the
+endurance mode by default (DELETE + steered PUT, §V-B3).
+
+A per-bucket validity bitmap is kept in a small dedicated NVM region —
+the paper's "flag bit ... for deleting a K/V pair from the data zone"
+(§V-A3) — which is what makes crash recovery of the DRAM-index
+architecture (Fig. 2a) possible: :meth:`recover` rebuilds the index,
+model, and pool purely from NVM state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._bitops import bytes_to_array
+from ..errors import DuplicateKeyError, KeyNotFoundError, ReproError
+from ..index.base import KeyIndex
+from ..index.dram_hash import DRAMHashIndex
+from ..index.path_hashing import PathHashingIndex
+from ..nvm.device import SimulatedNVM
+from ..nvm.hybrid import HybridMemory
+from .address_pool import DynamicAddressPool
+from .config import PNWConfig
+from .model_manager import ModelManager
+
+__all__ = ["PNWStore", "OperationReport", "StoreMetrics"]
+
+
+@dataclass(frozen=True)
+class OperationReport:
+    """Cost breakdown of one mutating store operation."""
+
+    op: str
+    key: bytes
+    address: int
+    cluster: int
+    fallback_used: bool
+    bit_updates: int
+    words_touched: int
+    lines_touched: int
+    nvm_latency_ns: float
+    predict_ns: float
+    index_lines: int
+    retrained: bool
+
+    @property
+    def total_latency_ns(self) -> float:
+        """Modeled NVM time plus measured prediction time — the paper's
+        end-to-end write latency decomposition (§VI-E)."""
+        return self.nvm_latency_ns + self.predict_ns
+
+
+@dataclass
+class StoreMetrics:
+    """Operation counters for one store instance."""
+
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    updates: int = 0
+    retrains: int = 0
+    fallbacks: int = 0
+    reports: list[OperationReport] = field(default_factory=list)
+    keep_reports: bool = False
+
+    def record(self, report: OperationReport) -> None:
+        if self.keep_reports:
+            self.reports.append(report)
+
+
+class PNWStore:
+    """Predict-and-Write K/V store on simulated hybrid DRAM-NVM memory."""
+
+    def __init__(self, config: PNWConfig) -> None:
+        self.config = config
+        self.memory = HybridMemory(
+            config.num_buckets,
+            config.bucket_bytes,
+            cacheline_bytes=config.cacheline_bytes,
+            word_bytes=config.word_bytes,
+            track_bit_wear=config.track_bit_wear,
+        )
+        # Validity bitmap: one bit per bucket, packed into 4-byte NVM words
+        # in its own region so data-zone wear numbers stay pure.  With
+        # persist_flags=False (the paper's Fig. 2a), flags live in DRAM
+        # alongside the index and crash recovery is unavailable.
+        bitmap_words = -(-config.num_buckets // 32)
+        self.flags_nvm = SimulatedNVM(bitmap_words, 4)
+        self._valid_dram = (
+            np.zeros(config.num_buckets, dtype=bool)
+            if not config.persist_flags
+            else None
+        )
+
+        self.index: KeyIndex = self._build_index()
+        self.manager = ModelManager(config)
+        self.pool = DynamicAddressPool(1, config.num_buckets)
+        self.pool.rebuild(
+            np.zeros(config.num_buckets, dtype=np.int64),
+            np.arange(config.num_buckets),
+        )
+        self.metrics = StoreMetrics()
+        self._live_count = 0
+        self._mutations_since_check = 0
+
+    def _build_index(self) -> KeyIndex:
+        if self.config.index_placement == "dram":
+            return DRAMHashIndex(self.config.key_bytes, self.memory.dram)
+        # Size the path-hashing top level so total capacity comfortably
+        # exceeds the data zone (top level alone >= num_buckets).
+        exponent = max(3, int(np.ceil(np.log2(self.config.num_buckets))) + 1)
+        return PathHashingIndex(
+            self.config.key_bytes,
+            levels_exponent=exponent,
+            reserved_levels=min(4, exponent + 1),
+        )
+
+    # ------------------------------------------------------------------ #
+    # helpers                                                             #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nvm(self) -> SimulatedNVM:
+        """The data-zone device (where Fig. 6's writes are counted)."""
+        return self.memory.nvm
+
+    def _encode_pair(self, key: bytes, value: bytes | np.ndarray) -> np.ndarray:
+        """Pack a K/V pair into one bucket payload."""
+        if isinstance(value, np.ndarray):
+            value = value.tobytes()
+        payload = np.empty(self.config.bucket_bytes, dtype=np.uint8)
+        payload[: self.config.key_bytes] = bytes_to_array(key, self.config.key_bytes)
+        payload[self.config.key_bytes :] = bytes_to_array(
+            value, self.config.value_bytes
+        )
+        return payload
+
+    def _normalize(self, key: bytes) -> bytes:
+        return KeyIndex.normalize_key(key, self.config.key_bytes)
+
+    def _set_valid(self, address: int, valid: bool) -> None:
+        """Flip the bucket's validity bit (NVM bitmap or DRAM mirror)."""
+        if self._valid_dram is not None:
+            self._valid_dram[address] = valid
+            self.memory.dram.write(1)
+            return
+        word_id, bit = divmod(address, 32)
+        word = self.flags_nvm.peek(word_id)
+        byte_id, bit_in_byte = divmod(bit, 8)
+        if valid:
+            word[byte_id] |= 1 << bit_in_byte
+        else:
+            word[byte_id] &= ~(1 << bit_in_byte) & 0xFF
+        self.flags_nvm.write(word_id, word)
+
+    def _is_valid(self, address: int) -> bool:
+        if self._valid_dram is not None:
+            return bool(self._valid_dram[address])
+        word_id, bit = divmod(address, 32)
+        word = self.flags_nvm.peek(word_id)
+        byte_id, bit_in_byte = divmod(bit, 8)
+        return bool(word[byte_id] >> bit_in_byte & 1)
+
+    def _index_lines_snapshot(self) -> int:
+        if isinstance(self.index, PathHashingIndex):
+            return self.index.nvm.stats.total_lines_touched
+        return 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                           #
+    # ------------------------------------------------------------------ #
+
+    def warm_up(self, old_data: np.ndarray) -> None:
+        """Fill the zone with "old data" and train the initial model.
+
+        This is the paper's experimental bootstrap (§VI-A): contents are
+        loaded without wear accounting (they predate the measurement), the
+        model is trained on them (Algorithm 1), and every address joins the
+        pool under its content's cluster — available for replacement.
+        """
+        old_data = np.atleast_2d(np.ascontiguousarray(old_data, dtype=np.uint8))
+        n = old_data.shape[0]
+        if n > self.config.num_buckets:
+            raise ValueError(
+                f"{n} warm-up rows exceed the {self.config.num_buckets}-bucket zone"
+            )
+        if old_data.shape[1] == self.config.value_bytes:
+            rows = np.zeros((n, self.config.bucket_bytes), dtype=np.uint8)
+            rows[:, self.config.key_bytes :] = old_data
+        elif old_data.shape[1] == self.config.bucket_bytes:
+            rows = old_data
+        else:
+            raise ValueError(
+                f"warm-up rows are {old_data.shape[1]} bytes; expected "
+                f"value_bytes={self.config.value_bytes} or "
+                f"bucket_bytes={self.config.bucket_bytes}"
+            )
+        self.nvm.load_many(0, rows)
+        self.retrain()
+
+    def retrain(self) -> None:
+        """Retrain the model on the whole zone and rebuild the pool.
+
+        Live buckets stay out of the pool; free buckets are re-filed under
+        their fresh labels.  The hash index is untouched — "we do not need
+        to move or change anything in the hash table on NVM" (§V-C).
+        """
+        contents = self.nvm.contents
+        self.manager.train(np.asarray(contents))
+        assert self.manager.model is not None
+        free = self.pool.free_addresses()
+        n_clusters = self.manager.model.n_clusters
+        self.pool = DynamicAddressPool(n_clusters, self.config.num_buckets)
+        if free.size:
+            labels = self.manager.labels_for(np.asarray(contents)[free])
+            self.pool.rebuild(labels, free)
+        self.metrics.retrains += 1
+
+    def _maybe_retrain(self) -> bool:
+        self._mutations_since_check += 1
+        if self._mutations_since_check < self.config.retrain_check_interval:
+            return False
+        self._mutations_since_check = 0
+        if self.manager.should_retrain(self.live_fraction):
+            self.retrain()
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # K/V operations                                                      #
+    # ------------------------------------------------------------------ #
+
+    def put(self, key: bytes, value: bytes | np.ndarray) -> OperationReport:
+        """PUT (Algorithm 2).  Existing keys follow the update mode."""
+        key = self._normalize(key)
+        if key in self.index:
+            return self.update(key, value)
+
+        payload = self._encode_pair(key, value)
+        predict_before = self.manager.predict_ns_total
+        if self.manager.is_trained:
+            order = self.manager.fallback_order(payload)
+            cluster = int(order[0])
+        else:
+            order = None
+            cluster = 0
+        predict_ns = self.manager.predict_ns_total - predict_before
+
+        fallback_used = self.pool.cluster_sizes()[cluster] == 0
+        address = self.pool.get_best(
+            cluster,
+            lambda addrs: self.nvm.hamming_many(addrs, payload),
+            self.config.probe_limit,
+            order,
+        )
+        if fallback_used:
+            self.metrics.fallbacks += 1
+
+        index_lines_before = self._index_lines_snapshot()
+        report = self.nvm.write(address, payload)
+        self._set_valid(address, True)
+        self.index.put(key, address)
+        index_lines = self._index_lines_snapshot() - index_lines_before
+
+        self._live_count += 1
+        self.metrics.puts += 1
+        retrained = self._maybe_retrain()
+        op = OperationReport(
+            op="put",
+            key=key,
+            address=address,
+            cluster=cluster,
+            fallback_used=fallback_used,
+            bit_updates=report.bit_updates,
+            words_touched=report.words_touched,
+            lines_touched=report.lines_touched,
+            nvm_latency_ns=report.latency_ns,
+            predict_ns=float(predict_ns),
+            index_lines=index_lines,
+            retrained=retrained,
+        )
+        self.metrics.record(op)
+        return op
+
+    def get(self, key: bytes) -> bytes:
+        """GET (§V-B4): index lookup, then a data-zone read."""
+        key = self._normalize(key)
+        address = self.index.get(key)
+        bucket = self.nvm.read(address)
+        self.metrics.gets += 1
+        return bucket[self.config.key_bytes :].tobytes()
+
+    def delete(self, key: bytes) -> OperationReport:
+        """DELETE (Algorithm 3): flag reset + address recycling."""
+        key = self._normalize(key)
+        address = self.index.delete(key)
+        self._set_valid(address, False)
+
+        old = self.nvm.peek(address)
+        predict_before = self.manager.predict_ns_total
+        cluster = self.manager.predict(old) if self.manager.is_trained else 0
+        predict_ns = self.manager.predict_ns_total - predict_before
+        if cluster >= self.pool.n_clusters:
+            cluster = 0
+        self.pool.release(address, cluster)
+
+        self._live_count -= 1
+        self.metrics.deletes += 1
+        op = OperationReport(
+            op="delete",
+            key=key,
+            address=address,
+            cluster=cluster,
+            fallback_used=False,
+            bit_updates=0,
+            words_touched=0,
+            lines_touched=0,
+            nvm_latency_ns=0.0,
+            predict_ns=float(predict_ns),
+            index_lines=0,
+            retrained=False,
+        )
+        self.metrics.record(op)
+        return op
+
+    def update(self, key: bytes, value: bytes | np.ndarray) -> OperationReport:
+        """UPDATE (§V-B3): endurance (delete+put) or latency (in place)."""
+        key = self._normalize(key)
+        if key not in self.index:
+            raise KeyNotFoundError(f"key {key!r} not found")
+        self.metrics.updates += 1
+        if self.config.update_mode == "endurance":
+            self.delete(key)
+            report = self.put(key, value)
+            return report
+        # Latency mode: straight through the index, in place, no steering.
+        address = self.index.get(key)
+        payload = self._encode_pair(key, value)
+        report = self.nvm.write(address, payload)
+        op = OperationReport(
+            op="update",
+            key=key,
+            address=address,
+            cluster=-1,
+            fallback_used=False,
+            bit_updates=report.bit_updates,
+            words_touched=report.words_touched,
+            lines_touched=report.lines_touched,
+            nvm_latency_ns=report.latency_ns,
+            predict_ns=0.0,
+            index_lines=0,
+            retrained=False,
+        )
+        self.metrics.record(op)
+        return op
+
+    # ------------------------------------------------------------------ #
+    # recovery                                                            #
+    # ------------------------------------------------------------------ #
+
+    def crash(self) -> None:
+        """Drop every DRAM structure, simulating a power failure."""
+        self.manager = ModelManager(self.config)
+        self.pool = DynamicAddressPool(1, self.config.num_buckets)
+        self.pool.rebuild(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        if self.config.index_placement == "dram":
+            self.index = self._build_index()
+        self._live_count = 0
+
+    def recover(self) -> None:
+        """Rebuild all DRAM state from NVM (§V-A1: the model "can be
+        reconstructed after a crash").
+
+        Scans the validity bitmap, re-inserts live keys into a fresh DRAM
+        index (NVM indexes survive on their own), retrains the model on
+        the zone, and refiles free addresses into the pool.
+        """
+        if self._valid_dram is not None:
+            raise ReproError(
+                "recover() needs the persistent validity bitmap; this store "
+                "was built with persist_flags=False (the paper's Fig. 2a "
+                "architecture, which cannot rebuild liveness after a crash)"
+            )
+        live = np.array(
+            [a for a in range(self.config.num_buckets) if self._is_valid(a)],
+            dtype=np.int64,
+        )
+        if self.config.index_placement == "dram" and len(self.index) == 0:
+            for address in live:
+                bucket = self.nvm.peek(int(address))
+                key = bucket[: self.config.key_bytes].tobytes()
+                self.index.put(key, int(address))
+        self._live_count = int(live.size)
+
+        contents = np.asarray(self.nvm.contents)
+        self.manager.train(contents)
+        assert self.manager.model is not None
+        free_mask = np.ones(self.config.num_buckets, dtype=bool)
+        free_mask[live] = False
+        free = np.flatnonzero(free_mask)
+        self.pool = DynamicAddressPool(
+            self.manager.model.n_clusters, self.config.num_buckets
+        )
+        if free.size:
+            self.pool.rebuild(self.manager.labels_for(contents[free]), free)
+
+    # ------------------------------------------------------------------ #
+    # introspection                                                       #
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, key: bytes) -> bool:
+        return self._normalize(key) in self.index
+
+    def __len__(self) -> int:
+        return self._live_count
+
+    @property
+    def live_fraction(self) -> float:
+        """Occupied fraction of the data zone (checked against the load
+        factor)."""
+        return self._live_count / self.config.num_buckets
+
+    def put_unique(self, key: bytes, value: bytes | np.ndarray) -> OperationReport:
+        """PUT that refuses to overwrite (for insert-only workloads)."""
+        if self._normalize(key) in self.index:
+            raise DuplicateKeyError(f"key {key!r} already exists")
+        return self.put(key, value)

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the PNW reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the common cases.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "CapacityError",
+    "KeyNotFoundError",
+    "DuplicateKeyError",
+    "PoolExhaustedError",
+    "NotFittedError",
+    "ConfigError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class CapacityError(ReproError):
+    """A storage component (NVM zone, index, tree node) ran out of space."""
+
+
+class KeyNotFoundError(ReproError, KeyError):
+    """A GET/DELETE referenced a key that is not present."""
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep messages readable
+        return Exception.__str__(self)
+
+
+class DuplicateKeyError(ReproError):
+    """An insert-only structure received a key that already exists."""
+
+
+class PoolExhaustedError(CapacityError):
+    """The dynamic address pool has no free address left in any cluster."""
+
+
+class NotFittedError(ReproError):
+    """A model was used before ``fit`` was called."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""

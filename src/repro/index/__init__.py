@@ -1,0 +1,7 @@
+"""Key indexes: DRAM hash (Fig. 2a) and NVM path hashing (Fig. 2b)."""
+
+from .base import KeyIndex, stable_hash64
+from .dram_hash import DRAMHashIndex
+from .path_hashing import PathHashingIndex
+
+__all__ = ["KeyIndex", "stable_hash64", "DRAMHashIndex", "PathHashingIndex"]

@@ -1,0 +1,205 @@
+"""Path Hashing [Zuo & Hua, TPDS 2018] on the simulated NVM.
+
+The write-friendly NVM hash index the paper builds and persists in PCM
+(Fig. 2b; §V-A3 "we build and persist a write-friendly hash index in PCM
+as introduced in [20]").  Path hashing stores buckets in an *inverted
+complete binary tree*:
+
+* the top level has ``2^L`` positions, addressable by hash functions;
+* each lower level halves the positions; position ``p`` at level ``d``
+  descends to position ``p // 2`` at level ``d + 1``;
+* a key hashes to two top-level positions (two independent hash
+  functions); it may live at any node on either *path* from those
+  positions toward the root, so collisions are absorbed without any
+  rehashing or item movement — the property that makes the scheme cheap
+  in bit flips;
+* ``reserved_levels`` bounds how deep paths go (the full tree is rarely
+  needed; the original paper reserves a few levels).
+
+Each slot is stored as one NVM bucket ``[flag | key | address]`` and every
+mutation goes through the device's data-comparison write, so the index's
+own endurance cost — the thing Fig. 2b trades against crash-free
+recovery — is measured, not assumed.  Deletion resets the flag byte only
+(one bit flip), exactly the paper's "reset its corresponding bit ...
+instead of deleting it".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._bitops import buffer_to_int, int_to_buffer
+from ..errors import CapacityError, KeyNotFoundError
+from ..nvm.device import SimulatedNVM
+from .base import KeyIndex, stable_hash64
+
+__all__ = ["PathHashingIndex"]
+
+_FLAG_EMPTY = 0
+_FLAG_LIVE = 1
+
+_ADDR_BYTES = 8
+
+
+class PathHashingIndex(KeyIndex):
+    """Inverted-binary-tree NVM hash index with two-path placement.
+
+    Parameters
+    ----------
+    key_bytes:
+        Fixed key width.
+    levels_exponent:
+        Top level holds ``2**levels_exponent`` slots.
+    reserved_levels:
+        Number of tree levels kept (including the top level).
+    nvm:
+        Optional shared device; by default the index allocates its own so
+        its wear is reported separately from the data zone's.
+    """
+
+    def __init__(
+        self,
+        key_bytes: int,
+        levels_exponent: int = 10,
+        reserved_levels: int = 4,
+        *,
+        nvm: SimulatedNVM | None = None,
+    ) -> None:
+        if key_bytes <= 0:
+            raise ValueError(f"key_bytes must be positive, got {key_bytes}")
+        if levels_exponent < 1:
+            raise ValueError(f"levels_exponent must be >= 1, got {levels_exponent}")
+        if not 1 <= reserved_levels <= levels_exponent + 1:
+            raise ValueError(
+                f"reserved_levels must be in [1, {levels_exponent + 1}], "
+                f"got {reserved_levels}"
+            )
+        self.key_bytes = key_bytes
+        self.levels_exponent = levels_exponent
+        self.reserved_levels = reserved_levels
+
+        self._level_sizes = [
+            2 ** (levels_exponent - d) for d in range(reserved_levels)
+        ]
+        self._level_offsets = np.concatenate([[0], np.cumsum(self._level_sizes[:-1])])
+        total_slots = int(np.sum(self._level_sizes))
+
+        raw_slot = 1 + key_bytes + _ADDR_BYTES
+        self.slot_bytes = -(-raw_slot // 4) * 4  # pad to the 4-byte word
+        self.nvm = nvm if nvm is not None else SimulatedNVM(
+            total_slots, self.slot_bytes
+        )
+        if self.nvm.num_buckets < total_slots:
+            raise ValueError(
+                f"device has {self.nvm.num_buckets} buckets; "
+                f"index needs {total_slots}"
+            )
+        self._count = 0
+
+    # ------------------------------------------------------------------ #
+    # geometry & codecs                                                   #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def capacity(self) -> int:
+        """Total slots across all reserved levels."""
+        return int(np.sum(self._level_sizes))
+
+    def _slot_id(self, level: int, position: int) -> int:
+        return int(self._level_offsets[level]) + position
+
+    def _paths(self, key: bytes) -> list[list[int]]:
+        """The two root-ward slot paths of ``key`` (slot ids per level)."""
+        top = self._level_sizes[0]
+        p1 = stable_hash64(key, seed=1) % top
+        p2 = stable_hash64(key, seed=2) % top
+        paths: list[list[int]] = [[], []]
+        for d in range(self.reserved_levels):
+            paths[0].append(self._slot_id(d, p1 >> d))
+            paths[1].append(self._slot_id(d, p2 >> d))
+        return paths
+
+    def _encode(self, flag: int, key: bytes, address: int) -> np.ndarray:
+        slot = np.zeros(self.slot_bytes, dtype=np.uint8)
+        slot[0] = flag
+        slot[1 : 1 + self.key_bytes] = np.frombuffer(key, dtype=np.uint8)
+        slot[1 + self.key_bytes : 1 + self.key_bytes + _ADDR_BYTES] = int_to_buffer(
+            address, _ADDR_BYTES
+        )
+        return slot
+
+    def _decode(self, slot: np.ndarray) -> tuple[int, bytes, int]:
+        flag = int(slot[0])
+        key = slot[1 : 1 + self.key_bytes].tobytes()
+        address = buffer_to_int(
+            slot[1 + self.key_bytes : 1 + self.key_bytes + _ADDR_BYTES]
+        )
+        return flag, key, address
+
+    # ------------------------------------------------------------------ #
+    # operations                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _locate(self, key: bytes) -> int | None:
+        """Slot id currently holding ``key``, or ``None``."""
+        for path in self._paths(key):
+            for slot_id in path:
+                flag, slot_key, _ = self._decode(self.nvm.read(slot_id))
+                if flag == _FLAG_LIVE and slot_key == key:
+                    return slot_id
+        return None
+
+    def put(self, key: bytes, address: int) -> None:
+        key = self.normalize_key(key, self.key_bytes)
+        existing = self._locate(key)
+        if existing is not None:
+            self.nvm.write(existing, self._encode(_FLAG_LIVE, key, address))
+            return
+        # Search both paths level by level (top first, keeping lookups
+        # short), taking the first empty slot.
+        paths = self._paths(key)
+        for level in range(self.reserved_levels):
+            for path in paths:
+                slot_id = path[level]
+                flag, _, _ = self._decode(self.nvm.read(slot_id))
+                if flag == _FLAG_EMPTY:
+                    self.nvm.write(slot_id, self._encode(_FLAG_LIVE, key, address))
+                    self._count += 1
+                    return
+        raise CapacityError(
+            f"both paths of key {key!r} are full "
+            f"({self.reserved_levels} levels); resize the index"
+        )
+
+    def get(self, key: bytes) -> int:
+        key = self.normalize_key(key, self.key_bytes)
+        slot_id = self._locate(key)
+        if slot_id is None:
+            raise KeyNotFoundError(f"key {key!r} not found")
+        _, _, address = self._decode(self.nvm.read(slot_id))
+        return address
+
+    def delete(self, key: bytes) -> int:
+        key = self.normalize_key(key, self.key_bytes)
+        slot_id = self._locate(key)
+        if slot_id is None:
+            raise KeyNotFoundError(f"key {key!r} not found")
+        slot = self.nvm.read(slot_id)
+        _, _, address = self._decode(slot)
+        # Reset only the flag byte: a one-bit flip, leaving the stale key
+        # and pointer bytes in place (paper §V-A3).
+        slot[0] = _FLAG_EMPTY
+        self.nvm.write(slot_id, slot)
+        self._count -= 1
+        return address
+
+    def __contains__(self, key: bytes) -> bool:
+        return self._locate(self.normalize_key(key, self.key_bytes)) is not None
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def load(self) -> float:
+        """Fraction of slots occupied."""
+        return self._count / self.capacity

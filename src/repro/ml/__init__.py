@@ -1,0 +1,16 @@
+"""ML substrate: k-means, PCA, and the elbow method (scikit-learn-free)."""
+
+from .elbow import ElbowResult, choose_k, find_knee, sse_curve
+from .kmeans import KMeans, MiniBatchKMeans, kmeans_plus_plus
+from .pca import PCA
+
+__all__ = [
+    "KMeans",
+    "MiniBatchKMeans",
+    "kmeans_plus_plus",
+    "PCA",
+    "ElbowResult",
+    "choose_k",
+    "find_knee",
+    "sse_curve",
+]

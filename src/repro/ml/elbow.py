@@ -1,0 +1,83 @@
+"""The elbow method for choosing K (paper §V-A1, Eq. 1, Fig. 4).
+
+``sse_curve`` evaluates the k-means Sum of Squared Errors over a range of
+K values; ``find_knee`` locates the "sharp decrease" the paper eyeballs,
+using the Kneedle idea reduced to its geometric core: normalise the curve
+to the unit square and take the point with maximum vertical distance from
+the chord joining the endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .kmeans import KMeans
+
+__all__ = ["ElbowResult", "sse_curve", "find_knee", "choose_k"]
+
+
+@dataclass(frozen=True)
+class ElbowResult:
+    """SSE curve plus the selected K."""
+
+    k_values: np.ndarray
+    sse: np.ndarray
+    best_k: int
+
+
+def sse_curve(
+    X: np.ndarray,
+    k_values: list[int] | np.ndarray,
+    *,
+    seed: int | None = None,
+    n_init: int = 2,
+    max_iter: int = 50,
+) -> np.ndarray:
+    """SSE(X, K) — Eq. 1 — for each K in ``k_values``."""
+    sses = []
+    for k in k_values:
+        model = KMeans(int(k), n_init=n_init, max_iter=max_iter, seed=seed)
+        model.fit(X)
+        sses.append(model.inertia_)
+    return np.asarray(sses, dtype=np.float64)
+
+
+def find_knee(x: np.ndarray, y: np.ndarray) -> int:
+    """Index of the knee of a decreasing convex curve.
+
+    Normalises both axes to [0, 1] and returns the index maximising the
+    distance below the straight line between the first and last points —
+    the "elbow" where adding clusters stops paying.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size != y.size:
+        raise ValueError(f"length mismatch: {x.size} vs {y.size}")
+    if x.size < 3:
+        return 0
+    xn = (x - x[0]) / (x[-1] - x[0]) if x[-1] != x[0] else np.zeros_like(x)
+    span = y[0] - y[-1]
+    if span == 0:
+        return 0
+    yn = (y - y[-1]) / span
+    chord = 1.0 - xn  # the normalised line from (0, 1) to (1, 0)
+    return int(np.argmax(chord - yn))
+
+
+def choose_k(
+    X: np.ndarray,
+    k_values: list[int] | np.ndarray,
+    *,
+    seed: int | None = None,
+    n_init: int = 2,
+    max_iter: int = 50,
+) -> ElbowResult:
+    """Run the elbow method end to end and pick K (Fig. 4's procedure)."""
+    k_values = np.asarray(list(k_values), dtype=np.int64)
+    if k_values.size == 0:
+        raise ValueError("k_values must not be empty")
+    sse = sse_curve(X, k_values, seed=seed, n_init=n_init, max_iter=max_iter)
+    knee = find_knee(k_values.astype(np.float64), sse)
+    return ElbowResult(k_values=k_values, sse=sse, best_k=int(k_values[knee]))

@@ -1,0 +1,18 @@
+"""Simulated NVM substrate: device, wear statistics, latency, hybrid layout."""
+
+from .device import SimulatedNVM, WriteReport
+from .hybrid import DRAMRegion, HybridMemory
+from .latency import TECHNOLOGIES, LatencyModel, MemoryTechnology
+from .stats import WearStats, cdf_of_counts
+
+__all__ = [
+    "SimulatedNVM",
+    "WriteReport",
+    "DRAMRegion",
+    "HybridMemory",
+    "TECHNOLOGIES",
+    "LatencyModel",
+    "MemoryTechnology",
+    "WearStats",
+    "cdf_of_counts",
+]

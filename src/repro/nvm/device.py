@@ -1,0 +1,323 @@
+"""Byte-addressable simulated NVM (PCM) with bit-flip accounting.
+
+Real PCM DIMMs are unavailable (as they were for the paper's authors, who
+emulated NVM on DRAM, §VI-A); ``SimulatedNVM`` models the device the paper
+measures:
+
+* a data zone of ``num_buckets`` fixed-size buckets,
+* data-comparison writes by default — only differing cells are programmed,
+  the core assumption behind every RBW technique the paper compares,
+* pluggable write schemes (Conventional/DCW/FNW/MinShift/Captopril) that
+  control which cells get programmed and what auxiliary metadata costs,
+* per-address and optional per-bit wear counters (Figures 12 and 13),
+* word/cache-line touch accounting (Figures 7, 8, 9) and a latency model.
+
+Buckets are cache-line aligned: each bucket occupies
+``ceil(bucket_bytes / cacheline_bytes)`` lines and starts on a line
+boundary, so the line count of a write is derived from which bytes of the
+bucket were programmed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from .._bitops import POPCOUNT_TABLE
+from ..errors import CapacityError
+from .latency import LatencyModel
+from .stats import WearStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..writeschemes.base import WriteScheme
+
+__all__ = ["SimulatedNVM", "WriteReport"]
+
+
+@dataclass(frozen=True)
+class WriteReport:
+    """Accounting record for a single bucket write."""
+
+    address: int
+    bit_updates: int
+    aux_bit_updates: int
+    words_touched: int
+    lines_touched: int
+    latency_ns: float
+
+    @property
+    def total_bit_updates(self) -> int:
+        """Data plus auxiliary cells programmed by this write."""
+        return self.bit_updates + self.aux_bit_updates
+
+
+class SimulatedNVM:
+    """A simulated PCM data zone of fixed-size, cache-line-aligned buckets.
+
+    Parameters
+    ----------
+    num_buckets:
+        Number of equally sized value slots in the data zone.
+    bucket_bytes:
+        Size of each slot.  Must be a multiple of ``word_bytes``.
+    cacheline_bytes:
+        Cache line size used for line-touch accounting (default 64).
+    word_bytes:
+        Word size used for word-touch accounting (default 4, the 32-bit
+        words of the paper's synthetic experiments).
+    track_bit_wear:
+        Allocate per-bit wear counters (needed for Fig. 13; costs
+        ``num_buckets * bucket_bytes * 8`` uint32 cells).
+    latency:
+        Latency model; defaults to the 3D-XPoint 600 ns line write.
+    """
+
+    def __init__(
+        self,
+        num_buckets: int,
+        bucket_bytes: int,
+        *,
+        cacheline_bytes: int = 64,
+        word_bytes: int = 4,
+        track_bit_wear: bool = False,
+        latency: LatencyModel | None = None,
+    ) -> None:
+        if num_buckets <= 0:
+            raise ValueError(f"num_buckets must be positive, got {num_buckets}")
+        if bucket_bytes <= 0:
+            raise ValueError(f"bucket_bytes must be positive, got {bucket_bytes}")
+        if bucket_bytes % word_bytes != 0:
+            raise ValueError(
+                f"bucket_bytes ({bucket_bytes}) must be a multiple of "
+                f"word_bytes ({word_bytes})"
+            )
+        self.num_buckets = num_buckets
+        self.bucket_bytes = bucket_bytes
+        self.cacheline_bytes = cacheline_bytes
+        self.word_bytes = word_bytes
+        self.latency = latency if latency is not None else LatencyModel()
+        self._data = np.zeros((num_buckets, bucket_bytes), dtype=np.uint8)
+        self._aux: dict[int, Any] = {}
+        self.stats = WearStats(num_buckets, bucket_bytes, track_bit_wear)
+
+    # ------------------------------------------------------------------ #
+    # geometry                                                            #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def bucket_bits(self) -> int:
+        """Number of data bits per bucket."""
+        return self.bucket_bytes * 8
+
+    @property
+    def lines_per_bucket(self) -> int:
+        """Cache lines spanned by one (line-aligned) bucket."""
+        return -(-self.bucket_bytes // self.cacheline_bytes)
+
+    @property
+    def words_per_bucket(self) -> int:
+        """Words per bucket."""
+        return self.bucket_bytes // self.word_bytes
+
+    def _check_address(self, address: int) -> None:
+        if not 0 <= address < self.num_buckets:
+            raise CapacityError(
+                f"address {address} out of range [0, {self.num_buckets})"
+            )
+
+    def _validate_payload(self, data: np.ndarray) -> np.ndarray:
+        data = np.ascontiguousarray(data, dtype=np.uint8)
+        if data.shape != (self.bucket_bytes,):
+            raise ValueError(
+                f"payload shape {data.shape} does not match bucket size "
+                f"({self.bucket_bytes},)"
+            )
+        return data
+
+    # ------------------------------------------------------------------ #
+    # accesses                                                            #
+    # ------------------------------------------------------------------ #
+
+    def load(self, address: int, data: np.ndarray) -> None:
+        """Set bucket contents without any accounting (warm-up/bootstrap)."""
+        self._check_address(address)
+        self._data[address] = self._validate_payload(data)
+        self._aux.pop(address, None)
+
+    def load_many(self, start: int, rows: np.ndarray) -> None:
+        """Bulk :meth:`load` of consecutive buckets starting at ``start``."""
+        rows = np.ascontiguousarray(rows, dtype=np.uint8)
+        if rows.ndim != 2 or rows.shape[1] != self.bucket_bytes:
+            raise ValueError(
+                f"rows shape {rows.shape} does not match (n, {self.bucket_bytes})"
+            )
+        end = start + rows.shape[0]
+        if start < 0 or end > self.num_buckets:
+            raise CapacityError(
+                f"bulk load [{start}, {end}) exceeds capacity {self.num_buckets}"
+            )
+        self._data[start:end] = rows
+        for address in range(start, end):
+            self._aux.pop(address, None)
+
+    def read(self, address: int) -> np.ndarray:
+        """Read a bucket's *physical* contents (a defensive copy)."""
+        self._check_address(address)
+        latency_ns = self.latency.read_ns(self.lines_per_bucket)
+        self.stats.record_read(latency_ns)
+        return self._data[address].copy()
+
+    def read_logical(self, address: int, scheme: "WriteScheme | None" = None) -> np.ndarray:
+        """Read a bucket and undo any scheme transformation (FNW inversion,
+        MinShift rotation, ...) using the metadata recorded at write time.
+
+        For plain data-comparison writes the physical and logical contents
+        are identical and ``scheme`` may be omitted.
+        """
+        physical = self.read(address)
+        entry = self._aux.get(address)
+        if entry is None:
+            return physical
+        state_key, aux_state = entry
+        if scheme is None or scheme.state_key != state_key:
+            raise ValueError(
+                f"bucket {address} was written with scheme {state_key!r}; "
+                "pass that scheme to decode it"
+            )
+        return scheme.decode(physical, aux_state)
+
+    def peek(self, address: int) -> np.ndarray:
+        """Read bucket contents without latency/traffic accounting."""
+        self._check_address(address)
+        return self._data[address].copy()
+
+    def hamming_many(self, addresses: np.ndarray, payload: np.ndarray) -> np.ndarray:
+        """Hamming distance of ``payload`` to each addressed bucket.
+
+        Unaccounted: this is the pool's candidate scoring (§IV), which a
+        real deployment serves from DRAM-side content metadata rather
+        than NVM reads.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        payload = self._validate_payload(payload)
+        xor = np.bitwise_xor(self._data[addresses], payload[None, :])
+        return POPCOUNT_TABLE[xor].sum(axis=1).astype(np.int64)
+
+    def write(
+        self,
+        address: int,
+        new: np.ndarray,
+        scheme: "WriteScheme | None" = None,
+    ) -> WriteReport:
+        """Write ``new`` into ``address`` and account the damage.
+
+        With ``scheme=None`` the device performs its native data-comparison
+        write (read-modify-write that programs only differing cells) —
+        exactly what PNW's Algorithm 2 does in lines 5–6.  With a scheme,
+        the scheme decides the physical bit pattern, the programmed-cell
+        mask, and the auxiliary metadata cost.
+        """
+        self._check_address(address)
+        new = self._validate_payload(new)
+        old = self._data[address]
+
+        if scheme is None:
+            stored = new
+            update_mask = np.bitwise_xor(old, new)
+            aux_bit_updates = 0
+            aux_state = None
+        else:
+            # Only hand back metadata this same scheme wrote; another
+            # scheme's state (e.g. a MinShift shift count) is meaningless
+            # here and starts fresh.
+            entry = self._aux.get(address)
+            old_aux = (
+                entry[1]
+                if entry is not None and entry[0] == scheme.state_key
+                else None
+            )
+            outcome = scheme.prepare(old, new, old_aux)
+            stored = self._validate_payload(outcome.stored)
+            update_mask = np.ascontiguousarray(outcome.update_mask, dtype=np.uint8)
+            if update_mask.shape != (self.bucket_bytes,):
+                raise ValueError(
+                    f"scheme update mask shape {update_mask.shape} does not "
+                    f"match bucket size ({self.bucket_bytes},)"
+                )
+            aux_bit_updates = outcome.aux_bit_updates
+            aux_state = outcome.aux_state
+
+        report = self._apply(address, stored, update_mask, aux_bit_updates)
+        if aux_state is not None and scheme is not None:
+            self._aux[address] = (scheme.state_key, aux_state)
+        else:
+            self._aux.pop(address, None)
+        return report
+
+    def _apply(
+        self,
+        address: int,
+        stored: np.ndarray,
+        update_mask: np.ndarray,
+        aux_bit_updates: int,
+    ) -> WriteReport:
+        """Commit a prepared write and accumulate statistics."""
+        bit_updates = int(POPCOUNT_TABLE[update_mask].sum())
+        dirty_bytes = update_mask != 0
+        words_touched = int(
+            dirty_bytes.reshape(self.words_per_bucket, self.word_bytes).any(axis=1).sum()
+        )
+        # Bucket padding: reshape via a padded view when the bucket does not
+        # fill a whole number of lines.
+        pad = self.lines_per_bucket * self.cacheline_bytes - self.bucket_bytes
+        if pad:
+            padded = np.zeros(self.bucket_bytes + pad, dtype=bool)
+            padded[: self.bucket_bytes] = dirty_bytes
+            line_view = padded.reshape(self.lines_per_bucket, self.cacheline_bytes)
+        else:
+            line_view = dirty_bytes.reshape(self.lines_per_bucket, self.cacheline_bytes)
+        lines_touched = int(line_view.any(axis=1).sum())
+
+        latency_ns = self.latency.write_ns(lines_touched)
+        updated_bits = None
+        if self.stats.bit_wear is not None:
+            updated_bits = np.unpackbits(update_mask)
+        self.stats.record_write(
+            address,
+            bit_updates,
+            aux_bit_updates,
+            words_touched,
+            lines_touched,
+            latency_ns,
+            updated_bits,
+        )
+        self._data[address] = stored
+        return WriteReport(
+            address=address,
+            bit_updates=bit_updates,
+            aux_bit_updates=aux_bit_updates,
+            words_touched=words_touched,
+            lines_touched=lines_touched,
+            latency_ns=latency_ns,
+        )
+
+    # ------------------------------------------------------------------ #
+    # bulk views for model training                                       #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def contents(self) -> np.ndarray:
+        """Read-only view of the whole data zone (for model training).
+
+        Training reads the zone without going through :meth:`read` because
+        the paper trains on DRAM snapshots, not on accounted NVM reads.
+        """
+        view = self._data.view()
+        view.flags.writeable = False
+        return view
+
+    def snapshot(self) -> np.ndarray:
+        """Deep copy of the data zone."""
+        return self._data.copy()

@@ -1,0 +1,83 @@
+"""Memory technology parameters and the access latency model.
+
+``TECHNOLOGIES`` reproduces Table I of the paper (read/write latency and
+write endurance of prevalent memory technologies).  ``LatencyModel``
+implements the paper's timing methodology: the cost of a write is dominated
+by the number of cache lines programmed, using the measured 3D-XPoint
+line-access latency of 600 ns (paper §VI-A, refs [41], [42]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryTechnology", "TECHNOLOGIES", "LatencyModel"]
+
+
+@dataclass(frozen=True)
+class MemoryTechnology:
+    """One row of the paper's Table I.
+
+    Latencies are in nanoseconds; ranges are stored as (lo, hi) tuples.
+    ``write_endurance`` is the order-of-magnitude cycle count a cell
+    survives, stored as (lo, hi) powers of ten.
+    """
+
+    name: str
+    read_latency_ns: tuple[float, float]
+    write_latency_ns: tuple[float, float]
+    endurance_log10: tuple[float, float]
+
+    @property
+    def mean_read_ns(self) -> float:
+        lo, hi = self.read_latency_ns
+        return (lo + hi) / 2.0
+
+    @property
+    def mean_write_ns(self) -> float:
+        lo, hi = self.write_latency_ns
+        return (lo + hi) / 2.0
+
+    @property
+    def endurance_cycles(self) -> float:
+        """Geometric midpoint of the endurance range, in write cycles."""
+        lo, hi = self.endurance_log10
+        return 10.0 ** ((lo + hi) / 2.0)
+
+
+#: Table I — comparison of memory technologies [10], [11].
+TECHNOLOGIES: dict[str, MemoryTechnology] = {
+    "HDD": MemoryTechnology("HDD", (5e6, 5e6), (5e6, 5e6), (15, 15)),
+    "DRAM": MemoryTechnology("DRAM", (50, 60), (50, 60), (16, 16)),
+    "PCM": MemoryTechnology("PCM", (50, 70), (120, 150), (8, 9)),
+    "ReRAM": MemoryTechnology("ReRAM", (10, 10), (50, 50), (11, 11)),
+    "SLC Flash": MemoryTechnology("SLC Flash", (25e3, 25e3), (500e3, 500e3), (4, 5)),
+    "STT-RAM": MemoryTechnology("STT-RAM", (10, 35), (50, 50), (15, 15)),
+}
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Models NVM access time from the number of cache lines touched.
+
+    The paper calculates write latency "based on the number of cache lines
+    that are written per item" and assumes a 3D-XPoint access latency of
+    600 ns.  Reads are charged the technology's read latency per line.
+    """
+
+    line_write_ns: float = 600.0
+    line_read_ns: float = 60.0
+
+    @classmethod
+    def for_technology(cls, name: str) -> "LatencyModel":
+        """Build a model from a Table I row (mean latencies)."""
+        tech = TECHNOLOGIES[name]
+        return cls(line_write_ns=tech.mean_write_ns, line_read_ns=tech.mean_read_ns)
+
+    def write_ns(self, lines_touched: int) -> float:
+        """Modeled latency of programming ``lines_touched`` cache lines."""
+        return self.line_write_ns * lines_touched
+
+    def read_ns(self, lines_touched: int) -> float:
+        """Modeled latency of reading ``lines_touched`` cache lines."""
+        return self.line_read_ns * lines_touched

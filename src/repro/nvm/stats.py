@@ -1,0 +1,169 @@
+"""Wear and traffic accounting for the simulated NVM device.
+
+``WearStats`` accumulates, per write operation:
+
+* the per-address write count (Fig. 12's CDF),
+* optionally the per-bit update count (Fig. 13's CDF),
+* totals for bit updates, auxiliary-bit updates, words and cache lines
+  touched, and modeled latency.
+
+The CDF helpers return the empirical distribution in the exact form the
+paper plots: P(X <= x) over the observed counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["WearStats", "cdf_of_counts"]
+
+
+def cdf_of_counts(counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of a non-negative integer count array.
+
+    Returns ``(values, cumulative_probability)`` where
+    ``cumulative_probability[i]`` is P(count <= values[i]).  Values run from
+    0 to the maximum observed count so the CDF starts at the fraction of
+    untouched elements, matching the paper's Figures 12 and 13.
+    """
+    counts = np.asarray(counts).ravel()
+    if counts.size == 0:
+        return np.array([0]), np.array([1.0])
+    max_count = int(counts.max())
+    values = np.arange(max_count + 1)
+    hist = np.bincount(counts.astype(np.int64), minlength=max_count + 1)
+    cum = np.cumsum(hist) / counts.size
+    return values, cum
+
+
+@dataclass
+class WearStats:
+    """Mutable accounting state owned by a :class:`~repro.nvm.SimulatedNVM`.
+
+    ``bit_wear`` is allocated lazily only when bit-level tracking is
+    enabled, because it costs ``num_buckets * bucket_bits`` counters.
+    """
+
+    num_buckets: int
+    bucket_bytes: int
+    track_bit_wear: bool = False
+
+    writes_per_address: np.ndarray = field(init=False)
+    bit_wear: np.ndarray | None = field(init=False, default=None)
+
+    total_writes: int = field(init=False, default=0)
+    total_reads: int = field(init=False, default=0)
+    total_bit_updates: int = field(init=False, default=0)
+    total_aux_bit_updates: int = field(init=False, default=0)
+    total_words_touched: int = field(init=False, default=0)
+    total_lines_touched: int = field(init=False, default=0)
+    total_write_latency_ns: float = field(init=False, default=0.0)
+    total_read_latency_ns: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        self.writes_per_address = np.zeros(self.num_buckets, dtype=np.int64)
+        if self.track_bit_wear:
+            self.bit_wear = np.zeros(
+                (self.num_buckets, self.bucket_bytes * 8), dtype=np.uint32
+            )
+
+    # ------------------------------------------------------------------ #
+    # accumulation (called by the device)                                 #
+    # ------------------------------------------------------------------ #
+
+    def record_write(
+        self,
+        address: int,
+        bit_updates: int,
+        aux_bit_updates: int,
+        words_touched: int,
+        lines_touched: int,
+        latency_ns: float,
+        updated_bits: np.ndarray | None = None,
+    ) -> None:
+        """Account one write operation against ``address``.
+
+        ``updated_bits`` is the unpacked 0/1 vector of programmed cells and
+        is only required when bit-level wear tracking is enabled.
+        """
+        self.total_writes += 1
+        self.writes_per_address[address] += 1
+        self.total_bit_updates += bit_updates
+        self.total_aux_bit_updates += aux_bit_updates
+        self.total_words_touched += words_touched
+        self.total_lines_touched += lines_touched
+        self.total_write_latency_ns += latency_ns
+        if self.bit_wear is not None:
+            if updated_bits is None:
+                raise ValueError(
+                    "bit-level wear tracking is enabled but no bit mask was given"
+                )
+            self.bit_wear[address] += updated_bits.astype(np.uint32)
+
+    def record_read(self, latency_ns: float) -> None:
+        """Account one read operation."""
+        self.total_reads += 1
+        self.total_read_latency_ns += latency_ns
+
+    # ------------------------------------------------------------------ #
+    # derived views                                                       #
+    # ------------------------------------------------------------------ #
+
+    def address_write_cdf(self) -> tuple[np.ndarray, np.ndarray]:
+        """CDF of per-address write counts (paper Fig. 12)."""
+        return cdf_of_counts(self.writes_per_address)
+
+    def bit_wear_cdf(self) -> tuple[np.ndarray, np.ndarray]:
+        """CDF of per-bit update counts (paper Fig. 13).
+
+        Raises ``ValueError`` when bit tracking was not enabled, because a
+        silently empty CDF would be mistaken for perfect wear leveling.
+        """
+        if self.bit_wear is None:
+            raise ValueError("device was created with track_bit_wear=False")
+        return cdf_of_counts(self.bit_wear)
+
+    @property
+    def mean_bit_updates_per_write(self) -> float:
+        """Average programmed cells per write (data region only)."""
+        if self.total_writes == 0:
+            return 0.0
+        return self.total_bit_updates / self.total_writes
+
+    @property
+    def mean_lines_per_write(self) -> float:
+        """Average cache lines touched per write."""
+        if self.total_writes == 0:
+            return 0.0
+        return self.total_lines_touched / self.total_writes
+
+    def summary(self) -> dict[str, float]:
+        """Flat dictionary of the headline counters (for reports/tests)."""
+        return {
+            "writes": self.total_writes,
+            "reads": self.total_reads,
+            "bit_updates": self.total_bit_updates,
+            "aux_bit_updates": self.total_aux_bit_updates,
+            "words_touched": self.total_words_touched,
+            "lines_touched": self.total_lines_touched,
+            "write_latency_ns": self.total_write_latency_ns,
+            "read_latency_ns": self.total_read_latency_ns,
+            "mean_bit_updates_per_write": self.mean_bit_updates_per_write,
+            "mean_lines_per_write": self.mean_lines_per_write,
+        }
+
+    def reset(self) -> None:
+        """Zero every counter (used between warm-up and measurement)."""
+        self.writes_per_address[:] = 0
+        if self.bit_wear is not None:
+            self.bit_wear[:] = 0
+        self.total_writes = 0
+        self.total_reads = 0
+        self.total_bit_updates = 0
+        self.total_aux_bit_updates = 0
+        self.total_words_touched = 0
+        self.total_lines_touched = 0
+        self.total_write_latency_ns = 0.0
+        self.total_read_latency_ns = 0.0

@@ -1,0 +1,8 @@
+"""Baseline persistent K/V stores compared against PNW in Figure 9."""
+
+from .base import BaselineKVStore
+from .fptree import FPTreeStore
+from .novelsm import NoveLSMStore
+from .pathhash_store import PathHashKVStore
+
+__all__ = ["BaselineKVStore", "FPTreeStore", "NoveLSMStore", "PathHashKVStore"]

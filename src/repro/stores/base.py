@@ -1,0 +1,73 @@
+"""Common interface for the Fig. 9 baseline K/V stores.
+
+Figure 9 compares PNW's written cache lines per request against three
+persistent K/V designs: FPTree, NoveLSM, and path hashing.  Each baseline
+here owns its simulated NVM device(s); ``lines_per_request`` divides the
+accumulated line writes (data + structure + log + compaction) by the
+number of mutating requests served — the exact y-axis of the figure.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["BaselineKVStore"]
+
+
+class BaselineKVStore(ABC):
+    """A persistent K/V store measured in NVM cache lines per request."""
+
+    name: str = "abstract"
+
+    def __init__(self, key_bytes: int, value_bytes: int) -> None:
+        if key_bytes <= 0 or value_bytes <= 0:
+            raise ValueError("key_bytes and value_bytes must be positive")
+        self.key_bytes = key_bytes
+        self.value_bytes = value_bytes
+        self.mutations = 0
+
+    # -- operations ----------------------------------------------------- #
+
+    @abstractmethod
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or update a pair."""
+
+    @abstractmethod
+    def get(self, key: bytes) -> bytes:
+        """Look up a value; raise ``KeyNotFoundError`` when absent."""
+
+    @abstractmethod
+    def delete(self, key: bytes) -> None:
+        """Remove a pair; raise ``KeyNotFoundError`` when absent."""
+
+    # -- accounting ------------------------------------------------------ #
+
+    @property
+    @abstractmethod
+    def total_nvm_lines(self) -> int:
+        """Cache lines written to NVM since construction."""
+
+    @property
+    def lines_per_request(self) -> float:
+        """Mean written cache lines per mutating request (Fig. 9)."""
+        if self.mutations == 0:
+            return 0.0
+        return self.total_nvm_lines / self.mutations
+
+    # -- helpers ---------------------------------------------------------- #
+
+    def _normalize_key(self, key: bytes) -> bytes:
+        if len(key) > self.key_bytes:
+            raise ValueError(f"key of {len(key)} bytes exceeds {self.key_bytes}")
+        return key.ljust(self.key_bytes, b"\x00")
+
+    def _normalize_value(self, value: bytes) -> bytes:
+        if len(value) > self.value_bytes:
+            raise ValueError(f"value of {len(value)} bytes exceeds {self.value_bytes}")
+        return value.ljust(self.value_bytes, b"\x00")
+
+    @staticmethod
+    def _to_array(data: bytes) -> np.ndarray:
+        return np.frombuffer(data, dtype=np.uint8)

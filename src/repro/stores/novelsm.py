@@ -1,0 +1,228 @@
+"""NoveLSM [Kannan et al., USENIX ATC 2018] — simplified persistent LSM.
+
+The Fig. 9 baseline.  NoveLSM is an LSM K/V store redesigned for NVM; our
+reproduction keeps the parts that generate its NVM write traffic:
+
+* every mutation appends a record to a persistent write-ahead region
+  (NoveLSM's persistent NVM memtable plays this role — mutations become
+  durable immediately without a separate log),
+* when the active memtable fills, it is flushed as a sorted immutable run,
+* when too many L0 runs accumulate, they are compacted (rewritten) into a
+  single sorted L1 run.
+
+The flush + compaction rewrites are why an LSM pays several cache lines
+per request in Figure 9 even though each individual append is small.
+Simplifications: a single compaction level and DRAM-side run catalogs
+(search metadata only; the K/V bytes all live on the simulated NVM).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..errors import CapacityError, KeyNotFoundError
+from ..nvm.device import SimulatedNVM
+from .base import BaselineKVStore
+
+__all__ = ["NoveLSMStore"]
+
+_FLAG_LIVE = 0
+_FLAG_TOMBSTONE = 1
+
+
+class _Run:
+    """An immutable sorted run: bucket ids + their sorted keys."""
+
+    __slots__ = ("keys", "buckets")
+
+    def __init__(self, keys: list[bytes], buckets: list[int]) -> None:
+        self.keys = keys
+        self.buckets = buckets
+
+
+class NoveLSMStore(BaselineKVStore):
+    """Persistent LSM with NVM memtable appends, flushes, and compaction.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum live pairs.
+    memtable_entries:
+        Mutations buffered before a flush.
+    l0_runs_limit:
+        L0 runs that trigger a compaction into L1.
+    """
+
+    name = "NoveLSM"
+
+    def __init__(
+        self,
+        key_bytes: int,
+        value_bytes: int,
+        capacity: int,
+        *,
+        memtable_entries: int = 64,
+        l0_runs_limit: int = 4,
+    ) -> None:
+        super().__init__(key_bytes, value_bytes)
+        self.memtable_entries = memtable_entries
+        self.l0_runs_limit = l0_runs_limit
+        # Record layout: [tombstone flag | key | value], word padded.
+        record_bytes = 1 + key_bytes + value_bytes
+        self._record_bytes = -(-record_bytes // 4) * 4
+        # Arena sizing: live data + one memtable + L0 staging + a full
+        # compaction target, with headroom for transient double-buffering.
+        arena = capacity * 3 + memtable_entries * (l0_runs_limit + 2) * 2 + 64
+        self.nvm = SimulatedNVM(arena, self._record_bytes)
+        self._free: deque[int] = deque(range(arena))
+        # key -> (value or None for a tombstone, memtable record bucket)
+        self._memtable: dict[bytes, tuple[bytes | None, int]] = {}
+        self._l0: list[_Run] = []
+        self._l1: _Run | None = None
+
+    # ------------------------------------------------------------------ #
+    # arena                                                               #
+    # ------------------------------------------------------------------ #
+
+    def _alloc(self) -> int:
+        if not self._free:
+            raise CapacityError("NoveLSM arena exhausted; raise capacity")
+        return self._free.popleft()
+
+    def _write_record(self, bucket: int, key: bytes, value: bytes | None) -> None:
+        """Persist one record; ``value=None`` writes a tombstone."""
+        payload = np.zeros(self._record_bytes, dtype=np.uint8)
+        payload[0] = _FLAG_TOMBSTONE if value is None else _FLAG_LIVE
+        payload[1 : 1 + self.key_bytes] = self._to_array(key)
+        if value is not None:
+            start = 1 + self.key_bytes
+            payload[start : start + len(value)] = self._to_array(value)
+        self.nvm.write(bucket, payload)
+
+    def _read_record(self, bucket: int) -> tuple[bytes, bytes | None]:
+        raw = self.nvm.read(bucket)
+        key = raw[1 : 1 + self.key_bytes].tobytes()
+        if raw[0] == _FLAG_TOMBSTONE:
+            return key, None
+        start = 1 + self.key_bytes
+        return key, raw[start : start + self.value_bytes].tobytes()
+
+    def _release_run(self, run: _Run) -> None:
+        self._free.extend(run.buckets)
+
+    # ------------------------------------------------------------------ #
+    # LSM machinery                                                       #
+    # ------------------------------------------------------------------ #
+
+    def _append(self, key: bytes, value: bytes | None) -> None:
+        """Durable memtable append (one record write), then maybe flush."""
+        bucket = self._alloc()
+        self._write_record(bucket, key, value)
+        previous = self._memtable.get(key)
+        if previous is not None:
+            self._free.append(previous[1])
+        self._memtable[key] = (value, bucket)
+        if len(self._memtable) >= self.memtable_entries:
+            self._flush()
+
+    def _flush(self) -> None:
+        """Freeze the memtable into a sorted immutable L0 run.
+
+        The persistent-memtable records are rewritten in sorted order (the
+        LSM's defining write amplification step).
+        """
+        if not self._memtable:
+            return
+        keys = sorted(self._memtable)
+        buckets: list[int] = []
+        for key in keys:
+            value, old_bucket = self._memtable[key]
+            bucket = self._alloc()
+            self._write_record(bucket, key, value)
+            buckets.append(bucket)
+            self._free.append(old_bucket)
+        self._memtable.clear()
+        self._l0.append(_Run(keys, buckets))
+        if len(self._l0) > self.l0_runs_limit:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Merge every L0 run plus L1 into one fresh sorted L1 run.
+
+        Tombstones are dropped here: L1 is the bottom level, so a deleted
+        key can simply vanish from the merged output.
+        """
+        merged: dict[bytes, bytes | None] = {}
+        if self._l1 is not None:
+            for bucket in self._l1.buckets:
+                key, value = self._read_record(bucket)
+                merged[key] = value
+        for run in self._l0:  # oldest first; newer runs overwrite
+            for bucket in run.buckets:
+                key, value = self._read_record(bucket)
+                merged[key] = value
+        old_runs = list(self._l0) + ([self._l1] if self._l1 is not None else [])
+        keys = sorted(k for k, v in merged.items() if v is not None)
+        buckets = []
+        for key in keys:
+            bucket = self._alloc()
+            self._write_record(bucket, key, merged[key])
+            buckets.append(bucket)
+        self._l0 = []
+        self._l1 = _Run(keys, buckets)
+        for run in old_runs:
+            self._release_run(run)
+
+    @staticmethod
+    def _search_run(run: _Run, key: bytes) -> int | None:
+        import bisect
+
+        idx = bisect.bisect_left(run.keys, key)
+        if idx < len(run.keys) and run.keys[idx] == key:
+            return run.buckets[idx]
+        return None
+
+    # ------------------------------------------------------------------ #
+    # operations                                                          #
+    # ------------------------------------------------------------------ #
+
+    def put(self, key: bytes, value: bytes) -> None:
+        key = self._normalize_key(key)
+        value = self._normalize_value(value)
+        self.mutations += 1
+        self._append(key, value)
+
+    def get(self, key: bytes) -> bytes:
+        key = self._normalize_key(key)
+        # Newest wins: the first hit (memtable, then L0 newest-first, then
+        # L1) decides, including tombstones.
+        if key in self._memtable:
+            value = self._memtable[key][0]
+        else:
+            value = None
+            found = False
+            for run in reversed(self._l0):
+                bucket = self._search_run(run, key)
+                if bucket is not None:
+                    value = self._read_record(bucket)[1]
+                    found = True
+                    break
+            if not found and self._l1 is not None:
+                bucket = self._search_run(self._l1, key)
+                if bucket is not None:
+                    value = self._read_record(bucket)[1]
+        if value is None:
+            raise KeyNotFoundError(f"key {key!r} not found")
+        return value
+
+    def delete(self, key: bytes) -> None:
+        key = self._normalize_key(key)
+        self.get(key)  # raises KeyNotFoundError when absent
+        self.mutations += 1
+        self._append(key, None)
+
+    @property
+    def total_nvm_lines(self) -> int:
+        return self.nvm.stats.total_lines_touched

@@ -1,0 +1,132 @@
+"""Path-hashing K/V store [Zuo & Hua, TPDS 2018] — the third Fig. 9 baseline.
+
+Unlike the tree/LSM baselines, path hashing writes each pair exactly once
+into a hash slot and never rehashes, so its cache lines per request are
+low — but it is not *memory-aware*: a pair lands wherever its hash paths
+have room, regardless of what bits the slot currently holds.  That gap
+(placement by hash vs placement by content) is precisely what separates
+it from PNW in Figure 9.
+
+The structure is the inverted-binary-tree layout of
+:class:`~repro.index.path_hashing.PathHashingIndex`, with full values
+stored inline in the slots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CapacityError, KeyNotFoundError
+from ..index.base import stable_hash64
+from ..nvm.device import SimulatedNVM
+from .base import BaselineKVStore
+
+__all__ = ["PathHashKVStore"]
+
+_FLAG_EMPTY = 0
+_FLAG_LIVE = 1
+
+
+class PathHashKVStore(BaselineKVStore):
+    """K/V pairs stored directly in two-path hash slots on NVM."""
+
+    name = "PathHash"
+
+    def __init__(
+        self,
+        key_bytes: int,
+        value_bytes: int,
+        capacity: int,
+        *,
+        reserved_levels: int = 4,
+    ) -> None:
+        super().__init__(key_bytes, value_bytes)
+        exponent = max(3, int(np.ceil(np.log2(max(capacity, 2)))) + 1)
+        self.levels_exponent = exponent
+        self.reserved_levels = min(reserved_levels, exponent + 1)
+        self._level_sizes = [
+            2 ** (exponent - d) for d in range(self.reserved_levels)
+        ]
+        self._level_offsets = np.concatenate([[0], np.cumsum(self._level_sizes[:-1])])
+        total_slots = int(np.sum(self._level_sizes))
+        slot_bytes = -(-(1 + key_bytes + value_bytes) // 4) * 4
+        self.nvm = SimulatedNVM(total_slots, slot_bytes)
+        self._slot_bytes = slot_bytes
+        self._count = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _paths(self, key: bytes) -> list[list[int]]:
+        top = self._level_sizes[0]
+        p1 = stable_hash64(key, seed=1) % top
+        p2 = stable_hash64(key, seed=2) % top
+        paths: list[list[int]] = [[], []]
+        for level in range(self.reserved_levels):
+            paths[0].append(int(self._level_offsets[level]) + (p1 >> level))
+            paths[1].append(int(self._level_offsets[level]) + (p2 >> level))
+        return paths
+
+    def _encode(self, key: bytes, value: bytes) -> np.ndarray:
+        slot = np.zeros(self._slot_bytes, dtype=np.uint8)
+        slot[0] = _FLAG_LIVE
+        slot[1 : 1 + self.key_bytes] = self._to_array(key)
+        slot[1 + self.key_bytes : 1 + self.key_bytes + self.value_bytes] = (
+            self._to_array(value)
+        )
+        return slot
+
+    def _locate(self, key: bytes) -> int | None:
+        for path in self._paths(key):
+            for slot_id in path:
+                slot = self.nvm.read(slot_id)
+                if slot[0] == _FLAG_LIVE and (
+                    slot[1 : 1 + self.key_bytes].tobytes() == key
+                ):
+                    return slot_id
+        return None
+
+    # ------------------------------------------------------------------ #
+
+    def put(self, key: bytes, value: bytes) -> None:
+        key = self._normalize_key(key)
+        value = self._normalize_value(value)
+        self.mutations += 1
+        existing = self._locate(key)
+        if existing is not None:
+            self.nvm.write(existing, self._encode(key, value))
+            return
+        paths = self._paths(key)
+        for level in range(self.reserved_levels):
+            for path in paths:
+                slot_id = path[level]
+                if self.nvm.read(slot_id)[0] == _FLAG_EMPTY:
+                    self.nvm.write(slot_id, self._encode(key, value))
+                    self._count += 1
+                    return
+        raise CapacityError(f"both paths of key {key!r} are full")
+
+    def get(self, key: bytes) -> bytes:
+        key = self._normalize_key(key)
+        slot_id = self._locate(key)
+        if slot_id is None:
+            raise KeyNotFoundError(f"key {key!r} not found")
+        slot = self.nvm.read(slot_id)
+        return slot[1 + self.key_bytes : 1 + self.key_bytes + self.value_bytes].tobytes()
+
+    def delete(self, key: bytes) -> None:
+        key = self._normalize_key(key)
+        self.mutations += 1
+        slot_id = self._locate(key)
+        if slot_id is None:
+            raise KeyNotFoundError(f"key {key!r} not found")
+        slot = self.nvm.read(slot_id)
+        slot[0] = _FLAG_EMPTY  # one-bit delete, as in the index variant
+        self.nvm.write(slot_id, slot)
+        self._count -= 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def total_nvm_lines(self) -> int:
+        return self.nvm.stats.total_lines_touched

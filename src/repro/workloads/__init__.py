@@ -1,0 +1,31 @@
+"""Workload generators standing in for the paper's evaluation datasets."""
+
+from .amazon import AmazonAccessWorkload
+from .base import Workload
+from .docwords import DocWordsWorkload
+from .images import CIFARLikeWorkload, FashionLikeWorkload, MNISTLikeWorkload
+from .mixture import MixtureWorkload
+from .registry import WORKLOADS, make_workload, workload_names
+from .roadnet import RoadNetworkWorkload
+from .synthetic import NormalIntWorkload, UniformIntWorkload
+from .video import SHERBROOKE, TRAFFIC_SEQ2, VideoProfile, VideoWorkload
+
+__all__ = [
+    "Workload",
+    "AmazonAccessWorkload",
+    "DocWordsWorkload",
+    "RoadNetworkWorkload",
+    "NormalIntWorkload",
+    "UniformIntWorkload",
+    "MNISTLikeWorkload",
+    "FashionLikeWorkload",
+    "CIFARLikeWorkload",
+    "MixtureWorkload",
+    "VideoProfile",
+    "VideoWorkload",
+    "SHERBROOKE",
+    "TRAFFIC_SEQ2",
+    "WORKLOADS",
+    "make_workload",
+    "workload_names",
+]

@@ -1,0 +1,168 @@
+"""Image workloads: MNIST-like, Fashion-MNIST-like, CIFAR-10-like.
+
+The Keras/CIFAR datasets are not downloadable offline.  What the paper's
+experiments actually require from them is (a) class structure — images of
+the same class are bit-wise similar — and (b) for the workload-shift
+experiment (Fig. 10), two image families *different enough* that a model
+trained on one steers the other badly.  The stand-ins deliver exactly
+that:
+
+* ``MNISTLikeWorkload`` renders sparse stroke glyphs (random line
+  segments per class template, jittered per sample) — low ink coverage
+  like handwritten digits,
+* ``FashionLikeWorkload`` renders dense filled/textured shapes — high ink
+  coverage like apparel photos, hence far from any digit glyph in Hamming
+  space,
+* ``CIFARLikeWorkload`` renders 32x32 RGB patches with a per-class
+  palette and block texture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Workload
+
+__all__ = ["MNISTLikeWorkload", "FashionLikeWorkload", "CIFARLikeWorkload"]
+
+
+def _draw_segment(
+    canvas: np.ndarray,
+    p0: tuple[float, float],
+    p1: tuple[float, float],
+    intensity: int,
+    thickness: int,
+) -> None:
+    """Rasterise a thick line segment onto a 2-D grayscale canvas."""
+    h, w = canvas.shape
+    steps = int(max(abs(p1[0] - p0[0]), abs(p1[1] - p0[1])) * 2) + 2
+    ys = np.linspace(p0[0], p1[0], steps)
+    xs = np.linspace(p0[1], p1[1], steps)
+    for dy in range(-(thickness // 2), thickness // 2 + 1):
+        for dx in range(-(thickness // 2), thickness // 2 + 1):
+            yy = np.clip(np.rint(ys + dy), 0, h - 1).astype(np.int64)
+            xx = np.clip(np.rint(xs + dx), 0, w - 1).astype(np.int64)
+            canvas[yy, xx] = intensity
+
+
+class _TemplateImageWorkload(Workload):
+    """Shared machinery: per-class template + per-sample jitter and noise."""
+
+    side: int = 28
+    channels: int = 1
+    n_classes: int = 10
+    shift_px: int = 2
+    noise_sigma: float = 12.0
+
+    def __init__(self, seed: int | None = None) -> None:
+        super().__init__(item_bytes=self.side * self.side * self.channels, seed=seed)
+        self._templates = np.stack(
+            [self._render_template(c) for c in range(self.n_classes)]
+        )
+
+    def _render_template(self, class_id: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def generate(self, n: int) -> np.ndarray:
+        classes = self.rng.integers(0, self.n_classes, size=n)
+        out = np.empty((n, self.item_bytes), dtype=np.uint8)
+        for i, class_id in enumerate(classes):
+            img = self._templates[class_id].astype(np.float64)
+            dy, dx = self.rng.integers(-self.shift_px, self.shift_px + 1, size=2)
+            img = np.roll(img, (int(dy), int(dx)), axis=(0, 1))
+            img += self.rng.normal(0.0, self.noise_sigma, size=img.shape)
+            # Dark-background quantisation: like real MNIST/Fashion scans,
+            # background pixels are exactly zero, so same-class samples
+            # agree bit-for-bit outside the figure.
+            img[img < 30.0] = 0.0
+            out[i] = np.clip(img, 0, 255).astype(np.uint8).reshape(-1)
+        return self._validate(out)
+
+
+class MNISTLikeWorkload(_TemplateImageWorkload):
+    """Sparse stroke glyphs standing in for handwritten digits."""
+
+    name = "mnist"
+
+    def _render_template(self, class_id: int) -> np.ndarray:
+        img = np.zeros((self.side, self.side), dtype=np.float64)
+        n_strokes = int(self.rng.integers(3, 6))
+        for _ in range(n_strokes):
+            p0 = tuple(self.rng.uniform(4, self.side - 4, size=2))
+            p1 = tuple(self.rng.uniform(4, self.side - 4, size=2))
+            _draw_segment(img, p0, p1, int(self.rng.integers(170, 250)), 2)
+        return img[..., None] if self.channels > 1 else img
+
+
+class FashionLikeWorkload(_TemplateImageWorkload):
+    """Dense textured patches standing in for apparel photos.
+
+    Catalog photos are centred, so unlike the jittered glyphs there is no
+    per-sample shift — same-class samples differ only by sensor noise
+    (shifting a fine stripe texture by one pixel would anti-phase it and
+    destroy the within-class similarity real apparel images have).
+    """
+
+    name = "fashion"
+    shift_px = 0
+
+    def _render_template(self, class_id: int) -> np.ndarray:
+        img = np.full((self.side, self.side), 30.0)
+        # A big filled silhouette...
+        top = int(self.rng.integers(1, 6))
+        left = int(self.rng.integers(1, 6))
+        bottom = int(self.rng.integers(self.side - 6, self.side - 1))
+        right = int(self.rng.integers(self.side - 6, self.side - 1))
+        img[top:bottom, left:right] = float(self.rng.integers(120, 220))
+        # ...with a per-class stripe/check texture on top.
+        period = int(self.rng.integers(2, 5))
+        phase = class_id % period
+        if class_id % 2 == 0:
+            img[top:bottom, left + phase : right : period] -= 60.0
+        else:
+            img[top + phase : bottom : period, left:right] -= 60.0
+        return img
+
+
+class CIFARLikeWorkload(Workload):
+    """32x32 RGB patches with per-class palettes and block texture."""
+
+    name = "cifar"
+    side = 32
+    n_classes = 10
+
+    def __init__(self, seed: int | None = None) -> None:
+        super().__init__(item_bytes=self.side * self.side * 3, seed=seed)
+        # Per class: a background colour, a foreground colour, and a fixed
+        # foreground rectangle — the "object" silhouette.
+        self._bg = self.rng.integers(0, 256, size=(self.n_classes, 3))
+        self._fg = self.rng.integers(0, 256, size=(self.n_classes, 3))
+        self._boxes = np.column_stack(
+            [
+                self.rng.integers(2, 12, self.n_classes),
+                self.rng.integers(2, 12, self.n_classes),
+                self.rng.integers(18, 30, self.n_classes),
+                self.rng.integers(18, 30, self.n_classes),
+            ]
+        )
+
+    def generate(self, n: int) -> np.ndarray:
+        classes = self.rng.integers(0, self.n_classes, size=n)
+        out = np.empty((n, self.item_bytes), dtype=np.uint8)
+        for i, class_id in enumerate(classes):
+            img = np.empty((self.side, self.side, 3), dtype=np.float64)
+            img[:] = self._bg[class_id]
+            top, left, bottom, right = self._boxes[class_id]
+            jitter = self.rng.integers(-2, 3, size=2)
+            top = int(np.clip(top + jitter[0], 0, self.side - 2))
+            left = int(np.clip(left + jitter[1], 0, self.side - 2))
+            img[top:bottom, left:right] = self._fg[class_id]
+            # Sparse pixel noise: palette-quantised patches keep most
+            # pixels at exact class colours (which is what lets same-class
+            # images share clean cache lines, the property Fig. 7 uses).
+            n_noisy = (self.side * self.side) // 20
+            ys = self.rng.integers(0, self.side, n_noisy)
+            xs = self.rng.integers(0, self.side, n_noisy)
+            img[ys, xs] += self.rng.normal(0.0, 25.0, size=(n_noisy, 3))
+            out[i] = np.clip(img, 0, 255).astype(np.uint8).reshape(-1)
+        return self._validate(out)

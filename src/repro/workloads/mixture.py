@@ -1,0 +1,54 @@
+"""Mixing and phasing of workloads (the Fig. 10 workload-shift driver).
+
+``MixtureWorkload`` interleaves items from several source workloads with
+given weights — the paper's phase 2 streams MNIST and Fashion-MNIST at a
+1:2 ratio.  All sources must agree on ``item_bytes``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Workload
+
+__all__ = ["MixtureWorkload"]
+
+
+class MixtureWorkload(Workload):
+    """Randomly interleave several same-width workloads."""
+
+    name = "mixture"
+
+    def __init__(
+        self,
+        sources: list[Workload],
+        weights: list[float] | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if not sources:
+            raise ValueError("at least one source workload is required")
+        widths = {w.item_bytes for w in sources}
+        if len(widths) != 1:
+            raise ValueError(f"sources disagree on item_bytes: {sorted(widths)}")
+        super().__init__(item_bytes=sources[0].item_bytes, seed=seed)
+        self.sources = sources
+        if weights is None:
+            weights = [1.0] * len(sources)
+        if len(weights) != len(sources):
+            raise ValueError(
+                f"{len(weights)} weights for {len(sources)} sources"
+            )
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        self.weights = np.asarray(weights, dtype=np.float64) / total
+
+    def generate(self, n: int) -> np.ndarray:
+        choices = self.rng.choice(len(self.sources), size=n, p=self.weights)
+        out = np.empty((n, self.item_bytes), dtype=np.uint8)
+        for idx, source in enumerate(self.sources):
+            mask = choices == idx
+            count = int(mask.sum())
+            if count:
+                out[mask] = source.generate(count)
+        return self._validate(out)

@@ -1,0 +1,49 @@
+"""Name-based workload registry used by the benchmark harness.
+
+``make_workload("amazon", seed=7)`` builds the stand-in for the paper's
+Amazon Access Samples dataset, and so on.  Registered names match the
+dataset labels of the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .amazon import AmazonAccessWorkload
+from .base import Workload
+from .docwords import DocWordsWorkload
+from .images import CIFARLikeWorkload, FashionLikeWorkload, MNISTLikeWorkload
+from .roadnet import RoadNetworkWorkload
+from .synthetic import NormalIntWorkload, UniformIntWorkload
+from .video import SHERBROOKE, TRAFFIC_SEQ2, VideoWorkload
+
+__all__ = ["WORKLOADS", "make_workload", "workload_names"]
+
+WORKLOADS: dict[str, Callable[..., Workload]] = {
+    "normal": NormalIntWorkload,
+    "uniform": UniformIntWorkload,
+    "amazon": AmazonAccessWorkload,
+    "roadnet": RoadNetworkWorkload,
+    "docwords": DocWordsWorkload,
+    "mnist": MNISTLikeWorkload,
+    "fashion": FashionLikeWorkload,
+    "cifar": CIFARLikeWorkload,
+    "sherbrooke": lambda seed=None: VideoWorkload(SHERBROOKE, seed=seed),
+    "seq2": lambda seed=None: VideoWorkload(TRAFFIC_SEQ2, seed=seed),
+}
+
+
+def make_workload(name: str, seed: int | None = None, **kwargs) -> Workload:
+    """Instantiate a registered workload by its figure label."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+    return factory(seed=seed, **kwargs)
+
+
+def workload_names() -> list[str]:
+    """All registered workload names."""
+    return sorted(WORKLOADS)

@@ -1,0 +1,84 @@
+"""3D-Road-Network-like workload (paper §VI-B, Fig. 6b).
+
+The real UCI dataset holds 434,874 (longitude, latitude, altitude)
+records from roads in North Jutland.  Spatially adjacent records share
+their high-order coordinate bits — which is exactly the structure k-means
+picks up.  The stand-in walks a vehicle along random polylines inside a
+handful of geographic regions and emits fixed-point coordinate records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Workload
+
+__all__ = ["RoadNetworkWorkload"]
+
+
+class RoadNetworkWorkload(Workload):
+    """Fixed-point (lon, lat, alt) records from regional random walks.
+
+    Each record is three big-endian 64-bit fixed-point coordinates plus a
+    32-bit road-segment id, 28 bytes total, zero-padded to ``item_bytes``.
+    """
+
+    name = "roadnet"
+
+    _RECORD_BYTES = 28
+
+    def __init__(
+        self,
+        item_bytes: int = 32,
+        seed: int | None = None,
+        *,
+        n_regions: int = 8,
+        region_span_deg: float = 0.05,
+        walk_step_deg: float = 0.0005,
+    ) -> None:
+        if item_bytes < self._RECORD_BYTES:
+            raise ValueError(
+                f"item_bytes must be >= {self._RECORD_BYTES}, got {item_bytes}"
+            )
+        super().__init__(item_bytes=item_bytes, seed=seed)
+        self.n_regions = n_regions
+        self.region_span_deg = region_span_deg
+        self.walk_step_deg = walk_step_deg
+        # North-Jutland-like bounding box: lon 8.1–10.6 E, lat 56.5–57.8 N.
+        self._centers = np.column_stack(
+            [
+                self.rng.uniform(8.1, 10.6, n_regions),
+                self.rng.uniform(56.5, 57.8, n_regions),
+                self.rng.uniform(0.0, 120.0, n_regions),  # altitude, meters
+            ]
+        )
+        self._position = self._centers.copy()
+        self._segment = self.rng.integers(0, 2**32, size=n_regions, dtype=np.uint64)
+
+    @staticmethod
+    def _fixed_point(values: np.ndarray) -> np.ndarray:
+        """Encode degrees/meters as signed 64-bit with 1e-7 resolution."""
+        return np.rint(values * 1e7).astype(np.int64)
+
+    def generate(self, n: int) -> np.ndarray:
+        regions = self.rng.integers(0, self.n_regions, size=n)
+        out = np.zeros((n, self.item_bytes), dtype=np.uint8)
+        for i, region in enumerate(regions):
+            step = self.rng.normal(0.0, self.walk_step_deg, size=3)
+            step[2] *= 100.0  # altitude wanders more, in meters
+            self._position[region] += step
+            # Keep the walk inside its region so high-order bits stay shared.
+            drift = self._position[region] - self._centers[region]
+            limit = self.region_span_deg
+            self._position[region] -= np.clip(drift, -limit, limit) * 0.01
+            coords = self._fixed_point(self._position[region])
+            record = np.empty(self._RECORD_BYTES, dtype=np.uint8)
+            record[:24] = coords.astype(">i8").view(np.uint8)
+            self._segment[region] += int(self.rng.integers(0, 3))
+            record[24:28] = (
+                np.array([self._segment[region] & 0xFFFFFFFF], dtype=np.uint64)
+                .astype(">u4")
+                .view(np.uint8)
+            )
+            out[i, : self._RECORD_BYTES] = record
+        return self._validate(out)

@@ -1,0 +1,66 @@
+"""Synthetic integer workloads (paper §VI-D, Figures 6e and 6f).
+
+The paper generates 32-bit keys and values: a clusterable stream sampled
+from N(mu=2^31, sigma=2^28), and a hard-to-cluster stream sampled
+uniformly from [0, 2^32).  Items are stored as key/value records — a
+random 32-bit key followed by the 32-bit value — because that is what the
+K/V data zone holds; the key half is incompressible, the value half
+carries whatever structure the distribution has.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Workload
+
+__all__ = ["NormalIntWorkload", "UniformIntWorkload"]
+
+_U32 = np.uint64(2**32 - 1)
+
+
+class _IntWorkload(Workload):
+    """Shared record packing: [key:4B | value:4B] big-endian per item.
+
+    The paper "execute[s] the K/V operations with randomly selected
+    key/values from the same generator" (§VI-A), so keys follow the same
+    distribution as values.
+    """
+
+    def __init__(self, seed: int | None = None) -> None:
+        super().__init__(item_bytes=8, seed=seed)
+
+    def _sample_values(self, n: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def generate(self, n: int) -> np.ndarray:
+        keys = self._sample_values(n)
+        values = self._sample_values(n)
+        out = np.empty((n, 8), dtype=np.uint8)
+        out[:, :4] = keys.astype(">u4").view(np.uint8).reshape(n, 4)
+        out[:, 4:] = values.astype(">u4").view(np.uint8).reshape(n, 4)
+        return self._validate(out)
+
+
+class NormalIntWorkload(_IntWorkload):
+    """Values from N(2^31, 2^28), the paper's "regular pattern" stream."""
+
+    name = "normal"
+
+    def __init__(self, seed: int | None = None, mu: float = 2.0**31, sigma: float = 2.0**28) -> None:
+        super().__init__(seed=seed)
+        self.mu = mu
+        self.sigma = sigma
+
+    def _sample_values(self, n: int) -> np.ndarray:
+        raw = self.rng.normal(self.mu, self.sigma, size=n)
+        return np.clip(np.rint(raw), 0, float(_U32)).astype(np.uint64)
+
+
+class UniformIntWorkload(_IntWorkload):
+    """Uniform random 32-bit values — the adversarial, pattern-free stream."""
+
+    name = "uniform"
+
+    def _sample_values(self, n: int) -> np.ndarray:
+        return self.rng.integers(0, 2**32, size=n, dtype=np.uint64)

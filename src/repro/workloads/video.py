@@ -1,0 +1,142 @@
+"""Video workloads: Sherbrooke-like and traffic-surveillance-like streams.
+
+The paper stores CCTV footage on NVM (§VI-C): consecutive frames share a
+static background and differ only where objects moved, so frames are a
+few bit flips apart — the ideal case for write steering.  The stand-in
+renders a fixed procedural background plus rigid objects moving with
+constant velocity and bouncing at the borders, with sparse sensor noise.
+
+Two profiles mirror the paper's two corpora: ``SHERBROOKE`` (urban
+intersection, single channel) and ``TRAFFIC_SEQ2`` (Danish traffic
+camera, RGB, more and faster objects).  Resolutions are scaled down from
+800x600 / 640x480 so experiments stay laptop-sized; the temporal-
+redundancy structure is resolution independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import Workload
+
+__all__ = ["VideoProfile", "VideoWorkload", "SHERBROOKE", "TRAFFIC_SEQ2"]
+
+
+@dataclass(frozen=True)
+class VideoProfile:
+    """Geometry and dynamics of a synthetic camera feed.
+
+    ``n_scene_modes``/``mode_period`` model the slow global cycles real
+    surveillance footage has — ambient illumination drift, auto-exposure
+    steps, traffic-signal phases.  Frames within a mode share their
+    background bit patterns; frames across modes do not.  This is the
+    scene-level cluster structure PNW's model keys on (a fixed-position
+    ring buffer overwrites across modes; PNW steers within them).
+    """
+
+    name: str
+    width: int = 64
+    height: int = 64
+    channels: int = 1
+    n_objects: int = 6
+    max_speed: float = 1.5
+    object_size: tuple[int, int] = (6, 12)
+    noise_rate: float = 0.004
+    n_scene_modes: int = 4
+    mode_period: int = 60
+
+    @property
+    def frame_bytes(self) -> int:
+        return self.width * self.height * self.channels
+
+
+SHERBROOKE = VideoProfile(name="sherbrooke", width=64, height=64, channels=1,
+                          n_objects=6, max_speed=1.5)
+TRAFFIC_SEQ2 = VideoProfile(name="seq2", width=64, height=48, channels=3,
+                            n_objects=10, max_speed=2.5, noise_rate=0.006)
+
+
+class VideoWorkload(Workload):
+    """Consecutive frames of a synthetic surveillance camera."""
+
+    def __init__(self, profile: VideoProfile = SHERBROOKE, seed: int | None = None) -> None:
+        super().__init__(item_bytes=profile.frame_bytes, seed=seed)
+        self.profile = profile
+        self.name = f"video-{profile.name}"
+        p = profile
+        # Static background: smooth low-frequency texture.
+        coarse = self.rng.integers(40, 200, size=(p.height // 8 + 1, p.width // 8 + 1))
+        self._background = np.kron(coarse, np.ones((8, 8)))[: p.height, : p.width]
+        if p.channels > 1:
+            shades = self.rng.uniform(0.7, 1.0, size=p.channels)
+            self._background = np.stack(
+                [self._background * s for s in shades], axis=-1
+            )
+        self._positions = np.column_stack(
+            [
+                self.rng.uniform(0, p.height, p.n_objects),
+                self.rng.uniform(0, p.width, p.n_objects),
+            ]
+        )
+        self._velocities = self.rng.uniform(-p.max_speed, p.max_speed, (p.n_objects, 2))
+        self._illumination = np.linspace(0.45, 1.0, max(p.n_scene_modes, 1))
+        self._mode = 0
+        self._tick = 0
+        self._sizes = np.column_stack(
+            [
+                self.rng.integers(*p.object_size, p.n_objects),
+                self.rng.integers(*p.object_size, p.n_objects),
+            ]
+        )
+        # Rigid per-object texture (a vehicle's appearance): a base colour
+        # modulated by a fixed random pattern that moves with the object.
+        self._textures = []
+        for obj in range(p.n_objects):
+            h, w = self._sizes[obj]
+            base = self.rng.integers(40, 216, size=max(p.channels, 1))
+            pattern = self.rng.integers(-40, 41, size=(int(h), int(w), 1))
+            self._textures.append(
+                np.clip(base[None, None, :] + pattern, 0, 255).astype(np.float64)
+            )
+
+    def _advance(self) -> None:
+        """One physics tick: move objects, bounce, cycle the scene mode."""
+        p = self.profile
+        self._tick += 1
+        if p.n_scene_modes > 1 and self._tick % p.mode_period == 0:
+            self._mode = int(self.rng.integers(0, p.n_scene_modes))
+        self._positions += self._velocities
+        for axis, limit in ((0, p.height), (1, p.width)):
+            low = self._positions[:, axis] < 0
+            high = self._positions[:, axis] > limit - 1
+            self._velocities[low | high, axis] *= -1.0
+            self._positions[:, axis] = np.clip(self._positions[:, axis], 0, limit - 1)
+
+    def _render(self) -> np.ndarray:
+        p = self.profile
+        frame = self._background.astype(np.float64) * self._illumination[self._mode]
+        if p.channels == 1 and frame.ndim == 2:
+            frame = frame[..., None]
+        for obj in range(p.n_objects):
+            y, x = self._positions[obj]
+            y0, x0 = int(y), int(x)
+            texture = self._textures[obj]
+            y1 = min(y0 + texture.shape[0], p.height)
+            x1 = min(x0 + texture.shape[1], p.width)
+            frame[y0:y1, x0:x1, :] = texture[: y1 - y0, : x1 - x0, : p.channels]
+        # Sparse sensor noise: a handful of pixels twinkle each frame.
+        n_noisy = int(p.noise_rate * p.width * p.height)
+        if n_noisy:
+            ys = self.rng.integers(0, p.height, n_noisy)
+            xs = self.rng.integers(0, p.width, n_noisy)
+            frame[ys, xs, :] += self.rng.normal(0, 25, size=(n_noisy, 1))
+        return np.clip(frame, 0, 255).astype(np.uint8)
+
+    def generate(self, n: int) -> np.ndarray:
+        frames = np.empty((n, self.item_bytes), dtype=np.uint8)
+        for i in range(n):
+            self._advance()
+            frames[i] = self._render().reshape(-1)
+        return self._validate(frames)

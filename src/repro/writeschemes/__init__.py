@@ -1,0 +1,34 @@
+"""Bit-flip-reduction write schemes: the paper's RBW baselines.
+
+``default_schemes`` returns the exact baseline set of Figure 6:
+Conventional, DCW, FNW, MinShift, and CAP16.
+"""
+
+from .base import WriteOutcome, WriteScheme
+from .captopril import Captopril
+from .conventional import ConventionalWrite
+from .dcw import DataComparisonWrite
+from .fnw import FlipNWrite
+from .minshift import MinShift
+
+__all__ = [
+    "WriteOutcome",
+    "WriteScheme",
+    "ConventionalWrite",
+    "DataComparisonWrite",
+    "FlipNWrite",
+    "MinShift",
+    "Captopril",
+    "default_schemes",
+]
+
+
+def default_schemes(word_bytes: int = 4) -> list[WriteScheme]:
+    """The baseline write schemes the paper compares against (Fig. 6)."""
+    return [
+        ConventionalWrite(),
+        DataComparisonWrite(),
+        FlipNWrite(word_bytes=word_bytes),
+        MinShift(),
+        Captopril(n_segments=16),
+    ]

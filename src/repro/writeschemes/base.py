@@ -1,0 +1,89 @@
+"""Write-scheme interface shared by all bit-flip reduction baselines.
+
+A *write scheme* decides, given the current physical contents of an NVM
+bucket and the new logical value, (1) what bit pattern is physically
+stored, (2) which cells are actually programmed, and (3) how much
+auxiliary metadata (flip bits, shift fields, segment masks) the write
+costs.  The simulated device applies the outcome and accounts the wear.
+
+Schemes are *stateless*: per-address state (e.g. FNW's flip bits) is
+round-tripped through ``aux_state``, which the device stores per address
+and hands back on the next write to the same address.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = ["WriteOutcome", "WriteScheme"]
+
+
+@dataclass(frozen=True)
+class WriteOutcome:
+    """The physical effect of one prepared write.
+
+    Attributes
+    ----------
+    stored:
+        Physical bytes the bucket holds after the write.
+    update_mask:
+        Packed ``uint8`` mask, same shape as the bucket; set bits mark the
+        cells that are programmed (and therefore wear out).
+    aux_bit_updates:
+        Number of auxiliary metadata cells programmed (flip bits, shift
+        field bits, mask bits).  Zero for schemes without metadata.
+    aux_state:
+        Scheme-private per-address state needed to decode the physical
+        contents back to the logical value, or ``None``.
+    """
+
+    stored: np.ndarray
+    update_mask: np.ndarray
+    aux_bit_updates: int = 0
+    aux_state: Any = None
+
+
+class WriteScheme(ABC):
+    """Base class for bit-flip reduction write schemes."""
+
+    #: Short display name used in reports and figures ("FNW", "CAP16", ...).
+    name: str = "abstract"
+
+    @property
+    def state_key(self) -> str:
+        """Identifies which schemes share per-address ``aux_state``.
+
+        The device tags stored metadata with this key so a later write by
+        a *different* scheme never misinterprets it (an FNW flip-bit array
+        is meaningless to MinShift).  Schemes whose state layout depends
+        on parameters must include them (see FlipNWrite).
+        """
+        return self.name
+
+    @abstractmethod
+    def prepare(
+        self,
+        old: np.ndarray,
+        new: np.ndarray,
+        old_aux: Any = None,
+    ) -> WriteOutcome:
+        """Plan the write of logical value ``new`` over physical ``old``.
+
+        ``old_aux`` is whatever ``aux_state`` the previous write to this
+        address produced (``None`` for a fresh bucket).
+        """
+
+    def decode(self, physical: np.ndarray, aux_state: Any) -> np.ndarray:
+        """Recover the logical value from physical contents + metadata.
+
+        The default is the identity, correct for schemes that store values
+        verbatim (Conventional, DCW).
+        """
+        return np.ascontiguousarray(physical, dtype=np.uint8).copy()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

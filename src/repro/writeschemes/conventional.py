@@ -1,0 +1,35 @@
+"""Conventional write: every cell is programmed on every write.
+
+This is the paper's "conventional method" baseline.  Without a
+read-before-write, the memory controller cannot know which cells already
+hold the right value, so all of them receive a programming pulse and all
+of them wear — bit updates per write always equal the item size.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .base import WriteOutcome, WriteScheme
+
+__all__ = ["ConventionalWrite"]
+
+
+class ConventionalWrite(WriteScheme):
+    """Program every cell of the bucket, regardless of the old contents."""
+
+    name = "Conventional"
+
+    def prepare(
+        self,
+        old: np.ndarray,
+        new: np.ndarray,
+        old_aux: Any = None,
+    ) -> WriteOutcome:
+        new = np.ascontiguousarray(new, dtype=np.uint8)
+        return WriteOutcome(
+            stored=new.copy(),
+            update_mask=np.full_like(new, 0xFF),
+        )

@@ -1,0 +1,45 @@
+"""Tests for the ``python -m repro.bench`` experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.cli import EXPERIMENTS, main
+
+
+class TestRegistry:
+    def test_every_paper_artifact_has_an_entry(self):
+        expected = {"table1", "table2", "fig3", "fig4", "fig7", "fig8",
+                    "fig9", "fig10", "fig11", "fig12", "fig13"}
+        assert expected <= set(EXPERIMENTS)
+        assert any(e.startswith("fig6-") for e in EXPERIMENTS)
+
+    def test_fig6_panels_cover_all_datasets(self):
+        from repro.bench import FIG6_DATASETS
+
+        for dataset in FIG6_DATASETS:
+            assert f"fig6-{dataset}" in EXPERIMENTS
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "fig13" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_a_cheap_experiment(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("PNW_RESULTS_DIR", str(tmp_path))
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Example PCM clustering" in out
+        assert (tmp_path / "table2.txt").exists()
+
+    def test_runs_multiple(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("PNW_RESULTS_DIR", str(tmp_path))
+        assert main(["table1", "table2"]) == 0
+        assert (tmp_path / "table1.txt").exists()
+        assert (tmp_path / "table2.txt").exists()

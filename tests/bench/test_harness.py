@@ -1,0 +1,155 @@
+"""Tests for the experiment harness: metrics, reporting, stream drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    ExperimentResult,
+    StreamMetrics,
+    build_bucket_rows,
+    key_for,
+    render,
+    run_kv_store_stream,
+    run_pnw_kv_stream,
+    run_pnw_stream,
+    run_scheme_stream,
+    save,
+)
+from repro.stores import PathHashKVStore
+from repro.workloads import AmazonAccessWorkload
+from repro.writeschemes import ConventionalWrite, DataComparisonWrite
+
+
+class TestStreamMetrics:
+    def test_bits_per_512_normalisation(self):
+        metrics = StreamMetrics(items=10, item_bits=512, bit_updates=1000,
+                                aux_bit_updates=24)
+        assert metrics.bits_per_512 == pytest.approx(1024 / 10)
+
+    def test_zero_items_safe(self):
+        metrics = StreamMetrics()
+        assert metrics.bits_per_512 == 0.0
+        assert metrics.lines_per_item == 0.0
+        assert metrics.latency_ns_per_item == 0.0
+
+    def test_latency_combines_nvm_and_predict(self):
+        metrics = StreamMetrics(items=2, item_bits=64, nvm_latency_ns=1200.0,
+                                predict_ns=800.0)
+        assert metrics.latency_ns_per_item == pytest.approx(1000.0)
+
+
+class TestExperimentResult:
+    def test_add_row_validates_width(self):
+        result = ExperimentResult("x", "t", columns=["a", "b"])
+        result.add_row(1, 2)
+        with pytest.raises(ValueError):
+            result.add_row(1)
+
+    def test_column_extraction(self):
+        result = ExperimentResult("x", "t", columns=["a", "b"])
+        result.add_row(1, 2)
+        result.add_row(3, 4)
+        assert result.column("b") == [2, 4]
+        assert result.row_dicts() == [{"a": 1, "b": 2}, {"a": 3, "b": 4}]
+
+    def test_render_contains_everything(self):
+        result = ExperimentResult("fig0", "demo", columns=["k", "v"],
+                                  params={"n": 5}, notes=["hello"])
+        result.add_row(1, 0.5)
+        text = render(result)
+        assert "fig0" in text and "demo" in text
+        assert "n=5" in text and "hello" in text
+        assert "0.500" in text
+
+    def test_save_writes_file(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("PNW_RESULTS_DIR", str(tmp_path))
+        result = ExperimentResult("fig0", "demo", columns=["k"])
+        result.add_row(1)
+        path = save(result)
+        assert path.read_text().startswith("== fig0")
+
+
+class TestKeys:
+    def test_key_for_is_fixed_width(self):
+        assert len(key_for(0)) == 8
+        assert len(key_for(2**32)) == 8
+        assert key_for(1) != key_for(2)
+
+    def test_build_bucket_rows_zero_key_default(self, rng):
+        values = rng.integers(0, 256, (3, 8), dtype=np.uint8)
+        rows = build_bucket_rows(values)
+        assert rows.shape == (3, 16)
+        assert rows[:, :8].sum() == 0
+        assert np.array_equal(rows[:, 8:], values)
+
+    def test_build_bucket_rows_with_keys(self, rng):
+        values = rng.integers(0, 256, (2, 8), dtype=np.uint8)
+        rows = build_bucket_rows(values, [key_for(7), key_for(9)])
+        assert rows[0, :8].tobytes() == key_for(7)
+
+    def test_build_bucket_rows_key_count_mismatch(self, rng):
+        values = rng.integers(0, 256, (2, 8), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            build_bucket_rows(values, [key_for(1)])
+
+
+class TestSchemeStream:
+    def test_conventional_writes_every_bit(self, rng):
+        w = AmazonAccessWorkload(item_bytes=56, seed=0)
+        old, new = w.split_old_new(32, 64)
+        metrics = run_scheme_stream(ConventionalWrite(), old, new)
+        assert metrics.bits_per_512 == pytest.approx(512.0)
+        assert metrics.items == 64
+
+    def test_dcw_less_than_conventional(self, rng):
+        w = AmazonAccessWorkload(item_bytes=56, seed=0)
+        old, new = w.split_old_new(32, 64)
+        dcw = run_scheme_stream(DataComparisonWrite(), old, new)
+        assert dcw.bits_per_512 < 512.0
+
+    def test_none_scheme_is_native_dcw(self):
+        w = AmazonAccessWorkload(item_bytes=56, seed=0)
+        old, new = w.split_old_new(32, 64)
+        native = run_scheme_stream(None, old, new)
+        explicit = run_scheme_stream(DataComparisonWrite(), old, new)
+        assert native.bit_updates == explicit.bit_updates
+
+
+class TestPNWStream:
+    def test_stream_runs_and_improves_on_random_placement(self):
+        w = AmazonAccessWorkload(item_bytes=56, seed=0)
+        old, new = w.split_old_new(128, 256)
+        pnw, store = run_pnw_stream(old, new, n_clusters=4, seed=1)
+        baseline = run_scheme_stream(None, old, new)
+        assert pnw.items == 256
+        assert pnw.bits_per_512 < baseline.bits_per_512
+        assert store.metrics.puts == 256
+
+    def test_live_window_controls_occupancy(self):
+        w = AmazonAccessWorkload(item_bytes=56, seed=0)
+        old, new = w.split_old_new(64, 100)
+        _, store = run_pnw_stream(old, new, 2, seed=0, live_window=10)
+        assert len(store) == 10
+
+    def test_probe_zero_weaker_than_probing(self):
+        w = AmazonAccessWorkload(item_bytes=56, seed=0)
+        old, new = w.split_old_new(128, 256)
+        probing, _ = run_pnw_stream(old, new, 4, seed=1)
+        popping, _ = run_pnw_stream(old, new, 4, seed=1, probe_limit=0)
+        assert probing.bit_updates <= popping.bit_updates
+
+
+class TestKVStreams:
+    def test_baseline_kv_stream(self):
+        w = AmazonAccessWorkload(item_bytes=56, seed=0)
+        store = PathHashKVStore(8, 56, capacity=300)
+        lines = run_kv_store_stream(store, w.generate(200))
+        assert lines > 0
+        assert store.mutations == 300  # 200 puts + 100 deletes
+
+    def test_pnw_kv_stream_counts_flags_region(self):
+        w = AmazonAccessWorkload(item_bytes=56, seed=0)
+        lines = run_pnw_kv_stream(w.generate(200), n_clusters=4, seed=0)
+        assert 0 < lines < 5

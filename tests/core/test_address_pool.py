@@ -1,0 +1,159 @@
+"""Tests for the dynamic address pool."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DynamicAddressPool
+from repro.errors import PoolExhaustedError
+
+
+@pytest.fixture
+def pool() -> DynamicAddressPool:
+    pool = DynamicAddressPool(n_clusters=3, num_addresses=12)
+    labels = np.array([0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2])
+    pool.rebuild(labels, np.arange(12))
+    return pool
+
+
+class TestRebuild:
+    def test_cluster_sizes(self, pool):
+        assert pool.cluster_sizes() == [4, 4, 4]
+        assert pool.total_free == 12
+
+    def test_partial_rebuild_leaves_rest_unavailable(self):
+        pool = DynamicAddressPool(2, 10)
+        pool.rebuild(np.array([0, 1]), np.array([3, 7]))
+        assert pool.total_free == 2
+        assert 3 in pool and 7 in pool
+        assert 0 not in pool
+
+    def test_label_out_of_range(self):
+        pool = DynamicAddressPool(2, 4)
+        with pytest.raises(ValueError, match="label out of cluster range"):
+            pool.rebuild(np.array([5]), np.array([0]))
+
+    def test_shape_mismatch(self):
+        pool = DynamicAddressPool(2, 4)
+        with pytest.raises(ValueError):
+            pool.rebuild(np.array([0, 1]), np.array([0]))
+
+
+class TestGetRelease:
+    def test_get_from_cluster(self, pool):
+        addr = pool.get(1)
+        assert 4 <= addr <= 7
+        assert addr not in pool
+        assert pool.total_free == 11
+
+    def test_get_falls_back_when_empty(self, pool):
+        for _ in range(4):
+            pool.get(0)
+        addr = pool.get(0)  # cluster 0 empty; any other cluster serves
+        assert addr >= 4
+
+    def test_fallback_order_respected(self, pool):
+        for _ in range(4):
+            pool.get(0)
+        addr = pool.get(0, fallback_order=np.array([0, 2, 1]))
+        assert 8 <= addr <= 11  # cluster 2 preferred over 1
+
+    def test_exhaustion_raises(self):
+        pool = DynamicAddressPool(1, 2)
+        pool.rebuild(np.zeros(2, dtype=np.int64), np.arange(2))
+        pool.get(0)
+        pool.get(0)
+        with pytest.raises(PoolExhaustedError):
+            pool.get(0)
+
+    def test_release_recycles(self, pool):
+        addr = pool.get(0)
+        pool.release(addr, 2)
+        assert pool.cluster_of(addr) == 2
+        assert pool.total_free == 12
+
+    def test_double_release_rejected(self, pool):
+        addr = pool.get(0)
+        pool.release(addr, 0)
+        with pytest.raises(ValueError, match="already in the pool"):
+            pool.release(addr, 0)
+
+    def test_release_bad_ranges(self, pool):
+        with pytest.raises(ValueError):
+            pool.release(99, 0)
+        addr = pool.get(0)
+        with pytest.raises(ValueError):
+            pool.release(addr, 9)
+
+    def test_free_fraction(self, pool):
+        pool.get(0)
+        assert pool.free_fraction == pytest.approx(11 / 12)
+
+
+class TestGetBest:
+    def test_picks_minimum_score(self, pool):
+        # Score = distance from address 6.
+        scorer = lambda addrs: np.abs(addrs - 6)
+        addr = pool.get_best(1, scorer, probe_limit=4)
+        assert addr == 6
+
+    def test_probe_limit_zero_is_fifo(self, pool):
+        scorer = lambda addrs: -addrs  # would prefer the largest
+        addr = pool.get_best(0, scorer, probe_limit=0)
+        assert addr == 0  # FIFO ignores the scorer
+
+    def test_probe_limit_bounds_scan(self, pool):
+        seen = []
+
+        def scorer(addrs):
+            seen.extend(addrs.tolist())
+            return np.zeros(len(addrs))
+
+        pool.get_best(0, scorer, probe_limit=2)
+        assert len(seen) == 2
+
+    def test_negative_probe_scans_all(self, pool):
+        scorer = lambda addrs: -addrs
+        addr = pool.get_best(2, scorer, probe_limit=-1)
+        assert addr == 11  # best (largest) of cluster 2
+
+    def test_fallback_when_cluster_empty(self, pool):
+        for _ in range(4):
+            pool.get(2)
+        addr = pool.get_best(
+            2, lambda a: np.zeros(len(a)), probe_limit=8,
+            fallback_order=np.array([2, 0, 1]),
+        )
+        assert 0 <= addr <= 3
+
+    def test_exhaustion(self):
+        pool = DynamicAddressPool(2, 2)
+        pool.rebuild(np.array([0, 0]), np.arange(2))
+        pool.get(0)
+        pool.get(0)
+        with pytest.raises(PoolExhaustedError):
+            pool.get_best(0, lambda a: np.zeros(len(a)), probe_limit=4)
+
+
+class TestInvariantsProperty:
+    @given(st.lists(st.sampled_from(["get", "release"]), max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_no_double_allocation(self, ops):
+        """Random op sequences never hand out an address twice without a
+        release in between, and availability flags stay consistent."""
+        rng = np.random.default_rng(0)
+        pool = DynamicAddressPool(2, 8)
+        pool.rebuild(rng.integers(0, 2, 8), np.arange(8))
+        held: set[int] = set()
+        for op in ops:
+            if op == "get" and pool.total_free:
+                addr = pool.get(int(rng.integers(0, 2)))
+                assert addr not in held
+                held.add(addr)
+            elif op == "release" and held:
+                addr = held.pop()
+                pool.release(addr, int(rng.integers(0, 2)))
+        assert pool.total_free + len(held) == 8

@@ -1,0 +1,92 @@
+"""Tests for the model manager (training lifecycle + prediction timing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PNWConfig
+from repro.core import ModelManager
+from repro.errors import NotFittedError
+from tests.conftest import clustered_values
+
+
+@pytest.fixture
+def manager() -> ModelManager:
+    config = PNWConfig(
+        num_buckets=64, value_bytes=24, n_clusters=4, seed=3, n_init=1
+    )
+    return ModelManager(config)
+
+
+class TestTraining:
+    def test_untrained_state(self, manager):
+        assert not manager.is_trained
+        with pytest.raises(NotFittedError):
+            manager.predict(np.zeros(32, dtype=np.uint8))
+        with pytest.raises(NotFittedError):
+            manager.labels_for(np.zeros((2, 32), dtype=np.uint8))
+
+    def test_train_sets_model(self, manager, rng):
+        rows = clustered_values(rng, 64, 32)
+        manager.train(rows)
+        assert manager.is_trained
+        assert manager.model_version == 1
+        assert manager.train_count == 1
+        assert manager.last_train_seconds > 0
+
+    def test_clusters_capped_by_samples(self, rng):
+        config = PNWConfig(num_buckets=4, value_bytes=8, n_clusters=16, seed=0)
+        manager = ModelManager(config)
+        manager.train(rng.integers(0, 256, (3, 16), dtype=np.uint8))
+        assert manager.model.n_clusters == 3
+
+    def test_retrain_bumps_version(self, manager, rng):
+        rows = clustered_values(rng, 64, 32)
+        manager.train(rows)
+        manager.train(rows)
+        assert manager.model_version == 2
+
+
+class TestPrediction:
+    def test_predict_in_range(self, manager, rng):
+        rows = clustered_values(rng, 64, 32)
+        manager.train(rows)
+        label = manager.predict(rows[0])
+        assert 0 <= label < 4
+
+    def test_same_template_same_cluster(self, manager, rng):
+        rows = clustered_values(rng, 64, 32, flip_rate=0.0)
+        manager.train(rows)
+        # Rows identical bytes -> identical predictions.
+        for row in rows[:8]:
+            identical = np.flatnonzero((rows == row).all(axis=1))
+            labels = {manager.predict(rows[i]) for i in identical}
+            assert len(labels) == 1
+
+    def test_prediction_latency_tracked(self, manager, rng):
+        rows = clustered_values(rng, 64, 32)
+        manager.train(rows)
+        assert manager.mean_predict_ns == 0.0
+        manager.predict(rows[0])
+        assert manager.predict_count == 1
+        assert manager.mean_predict_ns > 0
+
+    def test_fallback_order_head_is_prediction(self, manager, rng):
+        rows = clustered_values(rng, 64, 32)
+        manager.train(rows)
+        for row in rows[:5]:
+            order = manager.fallback_order(row)
+            assert order[0] == manager.predict(row)
+            assert sorted(order.tolist()) == list(range(4))
+
+
+class TestRetrainPolicy:
+    def test_untrained_uses_auto_train_fraction(self, manager):
+        assert not manager.should_retrain(0.05)
+        assert manager.should_retrain(0.15)
+
+    def test_trained_uses_load_factor(self, manager, rng):
+        manager.train(clustered_values(rng, 64, 32))
+        assert not manager.should_retrain(0.5)
+        assert manager.should_retrain(0.95)

@@ -1,0 +1,101 @@
+"""Property-based model test: PNWStore behaves like a dict.
+
+Random PUT/UPDATE/DELETE/GET sequences (with steering, recycling, and
+retraining happening underneath) must be observationally equivalent to a
+plain dictionary, and the pool/index/bitmap invariants must hold after
+every sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PNWConfig, PNWStore
+from repro.errors import KeyNotFoundError
+
+KEYS = [b"a", b"b", b"c", b"d", b"e"]
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "delete", "get", "update"]),
+        st.sampled_from(KEYS),
+        st.binary(min_size=0, max_size=16),
+    ),
+    max_size=60,
+)
+
+
+def fresh_store() -> PNWStore:
+    config = PNWConfig(
+        num_buckets=16, value_bytes=16, key_bytes=8, n_clusters=2,
+        seed=0, n_init=1, max_iter=10,
+        load_factor=0.8, retrain_check_interval=7,
+    )
+    return PNWStore(config)
+
+
+@given(operations)
+@settings(max_examples=40, deadline=None)
+def test_store_is_observationally_a_dict(ops):
+    store = fresh_store()
+    reference: dict[bytes, bytes] = {}
+    for op, key, value in ops:
+        padded = key.ljust(8, b"\x00")
+        padded_value = value.ljust(16, b"\x00")
+        if op == "put":
+            store.put(key, value)
+            reference[padded] = padded_value
+        elif op == "update":
+            if padded in reference:
+                store.update(key, value)
+                reference[padded] = padded_value
+            else:
+                with pytest.raises(KeyNotFoundError):
+                    store.update(key, value)
+        elif op == "delete":
+            if padded in reference:
+                store.delete(key)
+                del reference[padded]
+            else:
+                with pytest.raises(KeyNotFoundError):
+                    store.delete(key)
+        else:  # get
+            if padded in reference:
+                assert store.get(key) == reference[padded]
+            else:
+                with pytest.raises(KeyNotFoundError):
+                    store.get(key)
+    # Final state agrees entirely.
+    assert len(store) == len(reference)
+    for padded, expected in reference.items():
+        assert store.get(padded) == expected
+    # Structural invariants.
+    assert store.pool.total_free + len(store) == store.config.num_buckets
+    live_bits = sum(
+        store._is_valid(a) for a in range(store.config.num_buckets)
+    )
+    assert live_bits == len(reference)
+
+
+@given(operations)
+@settings(max_examples=15, deadline=None)
+def test_crash_recovery_preserves_any_state(ops):
+    """After any op sequence, crash + recover reproduces the live map."""
+    store = fresh_store()
+    reference: dict[bytes, bytes] = {}
+    for op, key, value in ops:
+        padded = key.ljust(8, b"\x00")
+        if op in ("put", "update"):
+            store.put(key, value)
+            reference[padded] = value.ljust(16, b"\x00")
+        elif op == "delete" and padded in reference:
+            store.delete(key)
+            del reference[padded]
+    store.crash()
+    store.recover()
+    assert len(store) == len(reference)
+    for padded, expected in reference.items():
+        assert store.get(padded) == expected

@@ -1,0 +1,59 @@
+"""Tests for the elbow method (SSE curve + knee detection)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import choose_k, find_knee, sse_curve
+
+
+class TestFindKnee:
+    def test_sharp_elbow(self):
+        x = np.arange(1, 9, dtype=float)
+        y = np.array([100.0, 40.0, 12.0, 10.0, 9.0, 8.5, 8.2, 8.0])
+        assert find_knee(x, y) in (1, 2)  # k=2 or 3
+
+    def test_linear_curve_has_no_strong_knee(self):
+        x = np.arange(5, dtype=float)
+        y = 10.0 - 2.0 * x
+        # On a straight line every point is on the chord; index 0 wins ties.
+        assert find_knee(x, y) == 0
+
+    def test_flat_curve(self):
+        assert find_knee(np.arange(4.0), np.ones(4)) == 0
+
+    def test_short_input(self):
+        assert find_knee(np.array([1.0, 2.0]), np.array([5.0, 1.0])) == 0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            find_knee(np.arange(3.0), np.arange(4.0))
+
+
+class TestSSECurve:
+    def test_monotone_decreasing_on_blobs(self, rng):
+        centers = np.array([[0, 0], [10, 0], [0, 10], [10, 10]], dtype=float)
+        X = np.concatenate([c + rng.normal(0, 0.3, (40, 2)) for c in centers])
+        curve = sse_curve(X, [1, 2, 4, 8], seed=0)
+        assert np.all(np.diff(curve) <= 1e-6)
+
+    def test_empty_k_values_rejected(self, rng):
+        with pytest.raises(ValueError):
+            choose_k(rng.normal(0, 1, (20, 2)), [])
+
+
+class TestChooseK:
+    def test_finds_true_cluster_count(self, rng):
+        centers = np.array([[0, 0], [20, 0], [0, 20], [20, 20], [10, 10]],
+                           dtype=float)
+        X = np.concatenate([c + rng.normal(0, 0.2, (50, 2)) for c in centers])
+        result = choose_k(X, range(1, 10), seed=0, n_init=3)
+        assert result.best_k in (4, 5, 6)
+
+    def test_result_fields(self, rng):
+        X = rng.normal(0, 1, (50, 3))
+        result = choose_k(X, [1, 2, 3], seed=0)
+        assert result.k_values.tolist() == [1, 2, 3]
+        assert result.sse.shape == (3,)
+        assert result.best_k in (1, 2, 3)

@@ -1,0 +1,191 @@
+"""Unit + property tests for the from-scratch k-means."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotFittedError
+from repro.ml import KMeans, MiniBatchKMeans, kmeans_plus_plus
+
+
+def blobs(rng: np.random.Generator, n_per: int = 50, spread: float = 0.05):
+    """Three well-separated 2-D blobs."""
+    centers = np.array([[0.0, 0.0], [5.0, 5.0], [-5.0, 5.0]])
+    points = np.concatenate(
+        [c + rng.normal(0, spread, (n_per, 2)) for c in centers]
+    )
+    return points, centers
+
+
+class TestKMeansFit:
+    def test_recovers_separated_blobs(self, rng):
+        X, true_centers = blobs(rng)
+        model = KMeans(3, seed=0).fit(X)
+        found = model.cluster_centers_[np.argsort(model.cluster_centers_[:, 0])]
+        expected = true_centers[np.argsort(true_centers[:, 0])]
+        assert np.allclose(found, expected, atol=0.2)
+
+    def test_labels_in_range(self, rng):
+        X, _ = blobs(rng)
+        model = KMeans(3, seed=0).fit(X)
+        assert model.labels_.min() >= 0
+        assert model.labels_.max() < 3
+        assert model.labels_.shape == (X.shape[0],)
+
+    def test_inertia_decreases_monotonically(self, rng):
+        X = rng.normal(0, 1, (300, 8))
+        model = KMeans(5, n_init=1, seed=0).fit(X)
+        history = np.asarray(model.inertia_history_)
+        assert np.all(np.diff(history) <= 1e-9 * max(1.0, history[0]))
+
+    def test_more_clusters_never_increase_best_inertia(self, rng):
+        X = rng.normal(0, 1, (200, 4))
+        inertias = [
+            KMeans(k, n_init=3, seed=0).fit(X).inertia_ for k in (1, 2, 4, 8)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(inertias, inertias[1:]))
+
+    def test_k1_centroid_is_mean(self, rng):
+        X = rng.normal(3, 1, (100, 5))
+        model = KMeans(1, seed=0).fit(X)
+        assert np.allclose(model.cluster_centers_[0], X.mean(axis=0))
+
+    def test_centroids_are_member_means(self, rng):
+        X, _ = blobs(rng)
+        model = KMeans(3, seed=0).fit(X)
+        for c in range(3):
+            members = X[model.labels_ == c]
+            assert np.allclose(model.cluster_centers_[c], members.mean(axis=0),
+                               atol=1e-8)
+
+    def test_duplicate_points_handled(self):
+        X = np.ones((20, 3))
+        model = KMeans(3, seed=0).fit(X)
+        assert model.inertia_ == pytest.approx(0.0)
+
+    def test_rejects_more_clusters_than_points(self, rng):
+        with pytest.raises(ValueError, match="n_samples"):
+            KMeans(10).fit(rng.normal(0, 1, (5, 2)))
+
+    def test_rejects_1d_input(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            KMeans(2).fit(rng.normal(0, 1, 10))
+
+    def test_deterministic_under_seed(self, rng):
+        X = rng.normal(0, 1, (100, 6))
+        a = KMeans(4, seed=42).fit(X)
+        b = KMeans(4, seed=42).fit(X)
+        assert np.array_equal(a.labels_, b.labels_)
+        assert a.inertia_ == b.inertia_
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            KMeans(0)
+        with pytest.raises(ValueError):
+            KMeans(2, n_init=0)
+        with pytest.raises(ValueError):
+            KMeans(2, max_iter=0)
+
+
+class TestKMeansPredict:
+    def test_predict_matches_training_labels(self, rng):
+        X, _ = blobs(rng)
+        model = KMeans(3, seed=0).fit(X)
+        assert np.array_equal(model.predict(X), model.labels_)
+
+    def test_predict_one_matches_predict(self, rng):
+        X, _ = blobs(rng)
+        model = KMeans(3, seed=0).fit(X)
+        for row in X[:10]:
+            assert model.predict_one(row) == model.predict(row[None, :])[0]
+
+    def test_unfitted_raises(self):
+        model = KMeans(2)
+        with pytest.raises(NotFittedError):
+            model.predict(np.zeros((1, 2)))
+        with pytest.raises(NotFittedError):
+            model.predict_one(np.zeros(2))
+
+    def test_centroid_order_by_distance(self, rng):
+        X, _ = blobs(rng)
+        model = KMeans(3, seed=0).fit(X)
+        order = model.centroid_order_by_distance(X[0])
+        d = np.linalg.norm(model.cluster_centers_ - X[0], axis=1)
+        assert np.array_equal(order, np.argsort(d, kind="stable"))
+
+    def test_score_is_negative_sse(self, rng):
+        X, _ = blobs(rng)
+        model = KMeans(3, seed=0).fit(X)
+        assert model.score(X) == pytest.approx(-model.inertia_)
+
+    @given(st.integers(min_value=1, max_value=5))
+    @settings(max_examples=10, deadline=None)
+    def test_property_assignment_optimality(self, k):
+        """Every point's assigned centroid is its nearest centroid."""
+        rng = np.random.default_rng(k)
+        X = rng.normal(0, 1, (60, 3))
+        model = KMeans(k, n_init=1, seed=0).fit(X)
+        d = ((X[:, None, :] - model.cluster_centers_[None]) ** 2).sum(axis=2)
+        assert np.array_equal(model.labels_, np.argmin(d, axis=1))
+
+
+class TestKMeansPlusPlus:
+    def test_returns_requested_count(self, rng):
+        X = rng.normal(0, 1, (50, 4))
+        centers = kmeans_plus_plus(X, 7, rng)
+        assert centers.shape == (7, 4)
+
+    def test_centers_are_data_points(self, rng):
+        X = rng.normal(0, 1, (50, 4))
+        centers = kmeans_plus_plus(X, 5, rng)
+        for center in centers:
+            assert np.any(np.all(np.isclose(X, center), axis=1))
+
+    def test_degenerate_identical_points(self, rng):
+        X = np.zeros((10, 3))
+        centers = kmeans_plus_plus(X, 3, rng)
+        assert centers.shape == (3, 3)
+
+
+class TestParallelRestarts:
+    def test_parallel_matches_serial(self, rng):
+        X = rng.normal(0, 1, (200, 6))
+        serial = KMeans(4, n_init=3, seed=1, n_jobs=1).fit(X)
+        parallel = KMeans(4, n_init=3, seed=1, n_jobs=2).fit(X)
+        assert np.array_equal(serial.labels_, parallel.labels_)
+        assert serial.inertia_ == pytest.approx(parallel.inertia_)
+
+    def test_rejects_bad_n_jobs(self, rng):
+        from repro.ml._parallel import run_restarts
+
+        with pytest.raises(ValueError):
+            run_restarts(np.zeros((4, 2)), 2, 5, 0.0, [1], n_jobs=0)
+
+
+class TestMiniBatch:
+    def test_converges_on_blobs(self, rng):
+        X, true_centers = blobs(rng, n_per=100)
+        model = MiniBatchKMeans(3, batch_size=64, max_iter=80, seed=0).fit(X)
+        found = model.cluster_centers_[np.argsort(model.cluster_centers_[:, 0])]
+        expected = true_centers[np.argsort(true_centers[:, 0])]
+        assert np.allclose(found, expected, atol=0.5)
+
+    def test_partial_fit_updates(self, rng):
+        X, _ = blobs(rng)
+        model = MiniBatchKMeans(3, seed=0)
+        model.partial_fit(X[:30])
+        before = model.cluster_centers_.copy()
+        model.partial_fit(X[30:60])
+        assert not np.allclose(before, model.cluster_centers_)
+
+    def test_first_batch_too_small(self):
+        model = MiniBatchKMeans(5, seed=0)
+        with pytest.raises(ValueError, match="first batch"):
+            model.partial_fit(np.zeros((3, 2)))
+
+    def test_predict_unfitted(self):
+        with pytest.raises(NotFittedError):
+            MiniBatchKMeans(2).predict(np.zeros((1, 2)))

@@ -1,0 +1,114 @@
+"""Unit + property tests for PCA (exact and randomized)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotFittedError
+from repro.ml import PCA
+
+
+def low_rank_data(rng, n=200, m=30, rank=3, noise=0.01):
+    """Data with ``rank`` dominant directions plus tiny isotropic noise."""
+    basis = rng.normal(0, 1, (rank, m))
+    coeffs = rng.normal(0, 1, (n, rank)) * np.array([10.0, 5.0, 2.0])[:rank]
+    return coeffs @ basis + rng.normal(0, noise, (n, m))
+
+
+class TestExactPCA:
+    def test_components_are_orthonormal(self, rng):
+        X = low_rank_data(rng)
+        pca = PCA(n_components=5).fit(X)
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(5), atol=1e-8)
+
+    def test_variance_ratios_sorted_and_bounded(self, rng):
+        X = low_rank_data(rng)
+        pca = PCA().fit(X)
+        ratio = pca.explained_variance_ratio_
+        assert np.all(np.diff(ratio) <= 1e-12)
+        assert 0.99 <= ratio.sum() <= 1.0 + 1e-9
+
+    def test_low_rank_data_explained_by_rank_components(self, rng):
+        X = low_rank_data(rng, rank=3)
+        pca = PCA(n_components=3).fit(X)
+        assert pca.explained_variance_ratio_.sum() > 0.99
+
+    def test_full_roundtrip(self, rng):
+        X = rng.normal(0, 1, (50, 10))
+        pca = PCA().fit(X)
+        Z = pca.transform(X)
+        assert np.allclose(pca.inverse_transform(Z), X, atol=1e-8)
+
+    def test_truncated_reconstruction_error_bounded(self, rng):
+        X = low_rank_data(rng, rank=3, noise=0.001)
+        pca = PCA(n_components=3).fit(X)
+        reconstructed = pca.inverse_transform(pca.transform(X))
+        rel_err = np.linalg.norm(X - reconstructed) / np.linalg.norm(X)
+        assert rel_err < 0.01
+
+    def test_fractional_components_select_by_variance(self, rng):
+        X = low_rank_data(rng, rank=3)
+        pca = PCA(n_components=0.95).fit(X)
+        assert 1 <= pca.n_components_ <= 4
+        assert pca.cumulative_variance_ratio()[-1] >= 0.95
+
+    def test_transform_single_row(self, rng):
+        X = rng.normal(0, 1, (30, 6))
+        pca = PCA(n_components=2).fit(X)
+        row = pca.transform(X[0])
+        assert row.shape == (1, 2)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            PCA().transform(np.zeros((2, 2)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PCA(n_components=0)
+        with pytest.raises(ValueError):
+            PCA(n_components=1.5)
+        with pytest.raises(ValueError):
+            PCA(solver="magic")
+        with pytest.raises(ValueError):
+            PCA().fit(np.zeros((1, 4)))
+
+    @given(st.integers(min_value=2, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_property_projection_preserves_variance_order(self, k):
+        rng = np.random.default_rng(k)
+        X = rng.normal(0, 1, (40, 8)) * np.linspace(5, 0.5, 8)
+        pca = PCA(n_components=k).fit(X)
+        variances = pca.transform(X).var(axis=0, ddof=1)
+        assert np.all(np.diff(variances) <= 1e-8)
+
+
+class TestRandomizedPCA:
+    def test_matches_exact_on_low_rank(self, rng):
+        X = low_rank_data(rng, n=300, m=100, rank=3, noise=1e-4)
+        exact = PCA(n_components=3, solver="exact").fit(X)
+        randomized = PCA(n_components=3, solver="randomized", seed=0).fit(X)
+        assert np.allclose(
+            randomized.explained_variance_, exact.explained_variance_, rtol=1e-3
+        )
+        # Components match up to sign.
+        for i in range(3):
+            dot = abs(np.dot(randomized.components_[i], exact.components_[i]))
+            assert dot == pytest.approx(1.0, abs=1e-3)
+
+    def test_fractional_components_rejected(self, rng):
+        X = rng.normal(0, 1, (40, 20))
+        with pytest.raises(ValueError, match="full spectrum"):
+            PCA(n_components=0.9, solver="randomized").fit(X)
+
+    def test_auto_uses_randomized_for_wide_small_rank(self, rng):
+        X = rng.normal(0, 1, (100, 600))
+        pca = PCA(n_components=4, solver="auto", seed=0)
+        assert pca._resolve_solver(100, 600, 4) == "randomized"
+
+    def test_auto_uses_exact_for_full_rank(self, rng):
+        pca = PCA(solver="auto")
+        assert pca._resolve_solver(100, 600, 100) == "exact"

@@ -1,0 +1,199 @@
+"""Unit tests for the simulated NVM device."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError
+from repro.nvm import LatencyModel, SimulatedNVM
+from repro.writeschemes import DataComparisonWrite, FlipNWrite, MinShift
+
+
+@pytest.fixture
+def nvm() -> SimulatedNVM:
+    return SimulatedNVM(num_buckets=16, bucket_bytes=64)
+
+
+class TestGeometry:
+    def test_lines_per_bucket(self):
+        assert SimulatedNVM(4, 64).lines_per_bucket == 1
+        assert SimulatedNVM(4, 128).lines_per_bucket == 2
+        assert SimulatedNVM(4, 100).lines_per_bucket == 2  # padded
+
+    def test_words_per_bucket(self):
+        assert SimulatedNVM(4, 64, word_bytes=4).words_per_bucket == 16
+
+    def test_rejects_unaligned_bucket(self):
+        with pytest.raises(ValueError, match="multiple"):
+            SimulatedNVM(4, 10, word_bytes=4)
+
+    def test_rejects_empty_zone(self):
+        with pytest.raises(ValueError):
+            SimulatedNVM(0, 64)
+
+
+class TestReadWrite:
+    def test_load_then_read(self, nvm, rng):
+        data = rng.integers(0, 256, 64, dtype=np.uint8)
+        nvm.load(3, data)
+        assert np.array_equal(nvm.read(3), data)
+
+    def test_read_returns_copy(self, nvm):
+        first = nvm.read(0)
+        first[:] = 99
+        assert nvm.read(0)[0] == 0
+
+    def test_write_is_dcw_by_default(self, nvm, rng):
+        old = rng.integers(0, 256, 64, dtype=np.uint8)
+        new = old.copy()
+        new[0] ^= 0x03  # exactly two differing bits
+        nvm.load(0, old)
+        report = nvm.write(0, new)
+        assert report.bit_updates == 2
+        assert report.words_touched == 1
+        assert report.lines_touched == 1
+        assert np.array_equal(nvm.read(0), new)
+
+    def test_identical_write_touches_nothing(self, nvm, rng):
+        data = rng.integers(0, 256, 64, dtype=np.uint8)
+        nvm.load(0, data)
+        report = nvm.write(0, data)
+        assert report.bit_updates == 0
+        assert report.lines_touched == 0
+        assert report.latency_ns == 0.0
+
+    def test_out_of_range_address(self, nvm):
+        with pytest.raises(CapacityError):
+            nvm.read(16)
+        with pytest.raises(CapacityError):
+            nvm.write(-1, np.zeros(64, dtype=np.uint8))
+
+    def test_wrong_payload_shape(self, nvm):
+        with pytest.raises(ValueError, match="payload shape"):
+            nvm.write(0, np.zeros(32, dtype=np.uint8))
+
+    def test_load_many(self, nvm, rng):
+        rows = rng.integers(0, 256, (4, 64), dtype=np.uint8)
+        nvm.load_many(2, rows)
+        for i in range(4):
+            assert np.array_equal(nvm.peek(2 + i), rows[i])
+
+    def test_load_many_overflow(self, nvm, rng):
+        rows = rng.integers(0, 256, (4, 64), dtype=np.uint8)
+        with pytest.raises(CapacityError):
+            nvm.load_many(14, rows)
+
+
+class TestMultiLineAccounting:
+    def test_lines_touched_counts_dirty_lines_only(self, rng):
+        nvm = SimulatedNVM(4, 256)  # 4 cache lines per bucket
+        old = rng.integers(0, 256, 256, dtype=np.uint8)
+        nvm.load(0, old)
+        new = old.copy()
+        new[0] ^= 0xFF       # line 0
+        new[200] ^= 0xFF     # line 3
+        report = nvm.write(0, new)
+        assert report.lines_touched == 2
+        assert report.latency_ns == pytest.approx(2 * 600.0)
+
+    def test_conventional_latency_uses_all_lines(self, rng):
+        from repro.writeschemes import ConventionalWrite
+
+        nvm = SimulatedNVM(4, 256)
+        report = nvm.write(0, rng.integers(0, 256, 256, dtype=np.uint8),
+                           ConventionalWrite())
+        assert report.lines_touched == 4
+
+
+class TestSchemesOnDevice:
+    def test_scheme_aux_state_round_trips(self, rng):
+        nvm = SimulatedNVM(4, 8)
+        scheme = FlipNWrite(word_bytes=4)
+        nvm.load(0, rng.integers(0, 256, 8, dtype=np.uint8))
+        logical = rng.integers(0, 256, 8, dtype=np.uint8)
+        nvm.write(0, logical, scheme)
+        assert np.array_equal(nvm.read_logical(0, scheme), logical)
+
+    def test_read_logical_requires_scheme_when_transformed(self, rng):
+        nvm = SimulatedNVM(4, 8)
+        nvm.load(0, np.zeros(8, dtype=np.uint8))
+        nvm.write(0, np.full(8, 0xFF, dtype=np.uint8), MinShift())
+        with pytest.raises(ValueError, match="was written with scheme"):
+            nvm.read_logical(0)
+
+    def test_plain_write_clears_stale_aux(self, rng):
+        nvm = SimulatedNVM(4, 8)
+        nvm.write(0, np.full(8, 0xFF, dtype=np.uint8), FlipNWrite(4))
+        nvm.write(0, np.zeros(8, dtype=np.uint8))  # DCW, stores verbatim
+        assert np.array_equal(nvm.read_logical(0), np.zeros(8, dtype=np.uint8))
+
+    def test_dcw_scheme_equals_device_default(self, rng):
+        nvm_a = SimulatedNVM(4, 64)
+        nvm_b = SimulatedNVM(4, 64)
+        old = rng.integers(0, 256, 64, dtype=np.uint8)
+        new = rng.integers(0, 256, 64, dtype=np.uint8)
+        nvm_a.load(0, old)
+        nvm_b.load(0, old)
+        ra = nvm_a.write(0, new)
+        rb = nvm_b.write(0, new, DataComparisonWrite())
+        assert ra.bit_updates == rb.bit_updates
+        assert ra.lines_touched == rb.lines_touched
+
+
+class TestWearAccounting:
+    def test_writes_per_address(self, rng):
+        nvm = SimulatedNVM(8, 64)
+        for _ in range(3):
+            nvm.write(5, rng.integers(0, 256, 64, dtype=np.uint8))
+        assert nvm.stats.writes_per_address[5] == 3
+        assert nvm.stats.total_writes == 3
+
+    def test_bit_wear_tracks_updates(self):
+        nvm = SimulatedNVM(2, 8, track_bit_wear=True)
+        new = np.zeros(8, dtype=np.uint8)
+        new[0] = 0x80
+        nvm.write(0, new)
+        assert nvm.stats.bit_wear[0, 0] == 1
+        assert nvm.stats.bit_wear.sum() == 1
+
+    def test_bit_wear_disabled_raises_on_cdf(self):
+        nvm = SimulatedNVM(2, 8)
+        with pytest.raises(ValueError, match="track_bit_wear"):
+            nvm.stats.bit_wear_cdf()
+
+    def test_hamming_many(self, rng):
+        nvm = SimulatedNVM(8, 16)
+        rows = rng.integers(0, 256, (8, 16), dtype=np.uint8)
+        nvm.load_many(0, rows)
+        payload = rng.integers(0, 256, 16, dtype=np.uint8)
+        from repro._bitops import hamming_distance
+
+        distances = nvm.hamming_many(np.arange(8), payload)
+        for i in range(8):
+            assert distances[i] == hamming_distance(rows[i], payload)
+
+    def test_contents_view_is_readonly(self, nvm):
+        with pytest.raises(ValueError):
+            nvm.contents[0, 0] = 1
+
+    def test_snapshot_is_independent(self, nvm, rng):
+        snap = nvm.snapshot()
+        nvm.write(0, rng.integers(0, 256, 64, dtype=np.uint8))
+        assert snap[0].sum() == 0
+
+
+class TestLatencyModelIntegration:
+    def test_custom_latency(self, rng):
+        nvm = SimulatedNVM(2, 64, latency=LatencyModel(line_write_ns=100.0))
+        old = np.zeros(64, dtype=np.uint8)
+        new = old.copy()
+        new[0] = 1
+        nvm.load(0, old)
+        assert nvm.write(0, new).latency_ns == pytest.approx(100.0)
+
+    def test_read_latency_accumulates(self, nvm):
+        nvm.read(0)
+        nvm.read(1)
+        assert nvm.stats.total_reads == 2
+        assert nvm.stats.total_read_latency_ns > 0

@@ -1,0 +1,77 @@
+"""Property-based tests: accounting conservation on the NVM device.
+
+Whatever sequence of writes hits the device, the aggregate statistics
+must equal the sum of the per-operation reports, the stored contents must
+equal the last write per address, and bit-wear counters must sum to the
+total bit updates.  These invariants are what every experiment's numbers
+rest on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nvm import SimulatedNVM
+from repro.writeschemes import default_schemes
+
+operations = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7),        # address
+        st.binary(min_size=8, max_size=8),            # payload
+        st.integers(min_value=0, max_value=4),        # scheme index
+    ),
+    max_size=40,
+)
+
+
+@given(operations)
+@settings(max_examples=40, deadline=None)
+def test_stats_equal_sum_of_reports(ops):
+    nvm = SimulatedNVM(8, 8, track_bit_wear=True)
+    schemes = default_schemes()
+    totals = {"bits": 0, "aux": 0, "words": 0, "lines": 0, "latency": 0.0}
+    for address, payload, scheme_idx in ops:
+        report = nvm.write(
+            address, np.frombuffer(payload, dtype=np.uint8), schemes[scheme_idx]
+        )
+        totals["bits"] += report.bit_updates
+        totals["aux"] += report.aux_bit_updates
+        totals["words"] += report.words_touched
+        totals["lines"] += report.lines_touched
+        totals["latency"] += report.latency_ns
+    assert nvm.stats.total_bit_updates == totals["bits"]
+    assert nvm.stats.total_aux_bit_updates == totals["aux"]
+    assert nvm.stats.total_words_touched == totals["words"]
+    assert nvm.stats.total_lines_touched == totals["lines"]
+    assert nvm.stats.total_write_latency_ns == totals["latency"]
+    assert nvm.stats.total_writes == len(ops)
+    # Bit-wear counters decompose the same total by position.
+    assert int(nvm.stats.bit_wear.sum()) == totals["bits"]
+
+
+@given(operations)
+@settings(max_examples=40, deadline=None)
+def test_logical_contents_equal_last_write(ops):
+    nvm = SimulatedNVM(8, 8)
+    schemes = default_schemes()
+    last: dict[int, tuple[bytes, int]] = {}
+    for address, payload, scheme_idx in ops:
+        nvm.write(address, np.frombuffer(payload, dtype=np.uint8),
+                  schemes[scheme_idx])
+        last[address] = (payload, scheme_idx)
+    for address, (payload, scheme_idx) in last.items():
+        logical = nvm.read_logical(address, schemes[scheme_idx])
+        assert logical.tobytes() == payload
+
+
+@given(operations)
+@settings(max_examples=30, deadline=None)
+def test_writes_per_address_partition_total(ops):
+    nvm = SimulatedNVM(8, 8)
+    schemes = default_schemes()
+    for address, payload, scheme_idx in ops:
+        nvm.write(address, np.frombuffer(payload, dtype=np.uint8),
+                  schemes[scheme_idx])
+    assert int(nvm.stats.writes_per_address.sum()) == len(ops)

@@ -1,0 +1,119 @@
+"""Tests for wear statistics, the latency table, and the hybrid layout."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nvm import (
+    TECHNOLOGIES,
+    DRAMRegion,
+    HybridMemory,
+    LatencyModel,
+    WearStats,
+    cdf_of_counts,
+)
+
+
+class TestCDF:
+    def test_simple_distribution(self):
+        values, cum = cdf_of_counts(np.array([0, 0, 1, 2, 2, 2]))
+        assert values.tolist() == [0, 1, 2]
+        assert cum.tolist() == pytest.approx([2 / 6, 3 / 6, 1.0])
+
+    def test_monotone_and_ends_at_one(self, rng):
+        counts = rng.integers(0, 20, 500)
+        _, cum = cdf_of_counts(counts)
+        assert np.all(np.diff(cum) >= 0)
+        assert cum[-1] == pytest.approx(1.0)
+
+    def test_empty(self):
+        values, cum = cdf_of_counts(np.array([], dtype=np.int64))
+        assert cum.tolist() == [1.0]
+
+    def test_2d_input_flattened(self):
+        values, cum = cdf_of_counts(np.array([[0, 1], [1, 1]]))
+        assert cum[-1] == pytest.approx(1.0)
+        assert cum[0] == pytest.approx(0.25)
+
+
+class TestWearStats:
+    def test_record_and_summary(self):
+        stats = WearStats(num_buckets=4, bucket_bytes=8)
+        stats.record_write(1, 10, 2, 3, 1, 600.0)
+        stats.record_read(60.0)
+        summary = stats.summary()
+        assert summary["writes"] == 1
+        assert summary["bit_updates"] == 10
+        assert summary["aux_bit_updates"] == 2
+        assert summary["mean_bit_updates_per_write"] == 10.0
+        assert summary["mean_lines_per_write"] == 1.0
+
+    def test_reset(self):
+        stats = WearStats(num_buckets=4, bucket_bytes=8, track_bit_wear=True)
+        stats.record_write(0, 1, 0, 1, 1, 600.0, np.ones(64, dtype=np.uint8))
+        stats.reset()
+        assert stats.total_writes == 0
+        assert stats.bit_wear.sum() == 0
+
+    def test_bit_tracking_requires_mask(self):
+        stats = WearStats(num_buckets=4, bucket_bytes=8, track_bit_wear=True)
+        with pytest.raises(ValueError, match="no bit mask"):
+            stats.record_write(0, 1, 0, 1, 1, 600.0)
+
+    def test_empty_stats_means(self):
+        stats = WearStats(num_buckets=4, bucket_bytes=8)
+        assert stats.mean_bit_updates_per_write == 0.0
+        assert stats.mean_lines_per_write == 0.0
+
+
+class TestTechnologies:
+    def test_table_one_rows_present(self):
+        assert set(TECHNOLOGIES) == {
+            "HDD", "DRAM", "PCM", "ReRAM", "SLC Flash", "STT-RAM",
+        }
+
+    def test_pcm_endurance_range(self):
+        pcm = TECHNOLOGIES["PCM"]
+        assert pcm.endurance_log10 == (8, 9)
+        assert 1e8 <= pcm.endurance_cycles <= 1e9
+
+    def test_dram_outlives_pcm(self):
+        assert (
+            TECHNOLOGIES["DRAM"].endurance_cycles
+            > TECHNOLOGIES["PCM"].endurance_cycles
+        )
+
+    def test_latency_model_from_technology(self):
+        model = LatencyModel.for_technology("PCM")
+        assert model.line_write_ns == pytest.approx(135.0)  # mean of 120-150
+        assert model.write_ns(2) == pytest.approx(270.0)
+
+    def test_default_model_is_3dxpoint(self):
+        model = LatencyModel()
+        assert model.write_ns(1) == pytest.approx(600.0)
+
+
+class TestHybridMemory:
+    def test_dram_accounting(self):
+        dram = DRAMRegion()
+        dram.write(100)
+        dram.read(64)
+        assert dram.bytes_written == 100
+        assert dram.write_ops == 1
+        assert dram.read_ops == 1
+        assert dram.latency_ns > 0
+
+    def test_hybrid_composition(self, rng):
+        hybrid = HybridMemory(num_buckets=8, bucket_bytes=32)
+        hybrid.nvm.write(0, rng.integers(0, 256, 32, dtype=np.uint8))
+        hybrid.dram.write(16)
+        assert hybrid.nvm.stats.total_writes == 1
+        assert hybrid.dram.write_ops == 1
+        hybrid.reset_stats()
+        assert hybrid.nvm.stats.total_writes == 0
+        assert hybrid.dram.write_ops == 0
+
+    def test_endurance_ratio_is_huge(self):
+        hybrid = HybridMemory(num_buckets=2, bucket_bytes=8)
+        assert hybrid.endurance_ratio > 1e6

@@ -1,0 +1,176 @@
+"""Tests for the Fig. 9 baseline K/V stores (FPTree, NoveLSM, PathHash)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KeyNotFoundError
+from repro.stores import FPTreeStore, NoveLSMStore, PathHashKVStore
+
+STORE_FACTORIES = {
+    "fptree": lambda: FPTreeStore(8, 24, capacity=512, leaf_fanout=8),
+    "novelsm": lambda: NoveLSMStore(8, 24, capacity=512, memtable_entries=16),
+    "pathhash": lambda: PathHashKVStore(8, 24, capacity=512),
+}
+
+
+@pytest.fixture(params=sorted(STORE_FACTORIES))
+def store(request):
+    return STORE_FACTORIES[request.param]()
+
+
+def value_of(i: int) -> bytes:
+    return f"value-{i:06d}".encode().ljust(24, b".")
+
+
+class TestStoreContract:
+    def test_put_get(self, store):
+        store.put(b"k1", b"hello")
+        assert store.get(b"k1").startswith(b"hello")
+
+    def test_update(self, store):
+        store.put(b"k1", b"one")
+        store.put(b"k1", b"two")
+        assert store.get(b"k1").startswith(b"two")
+
+    def test_delete(self, store):
+        store.put(b"k1", b"x")
+        store.delete(b"k1")
+        with pytest.raises(KeyNotFoundError):
+            store.get(b"k1")
+
+    def test_missing_raises(self, store):
+        with pytest.raises(KeyNotFoundError):
+            store.get(b"ghost")
+        with pytest.raises(KeyNotFoundError):
+            store.delete(b"ghost")
+
+    def test_many_sequential(self, store):
+        for i in range(300):
+            store.put(f"k{i:05d}".encode(), value_of(i))
+        for i in range(300):
+            assert store.get(f"k{i:05d}".encode()) == value_of(i)
+
+    def test_interleaved_inserts_deletes(self, store):
+        for i in range(200):
+            store.put(f"k{i:05d}".encode(), value_of(i))
+            if i % 3 == 0 and i > 0:
+                store.delete(f"k{i - 1:05d}".encode())
+        assert store.get(b"k00000") == value_of(0)
+        with pytest.raises(KeyNotFoundError):
+            store.get(b"k00002")
+
+    def test_lines_per_request_positive(self, store):
+        store.put(b"k", b"v")
+        assert store.lines_per_request > 0
+
+    def test_oversized_inputs_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.put(b"123456789", b"v")
+        with pytest.raises(ValueError):
+            store.put(b"k", b"x" * 25)
+
+@pytest.mark.parametrize("factory_name", sorted(STORE_FACTORIES))
+@given(ops=st.lists(
+    st.tuples(st.sampled_from([b"a", b"b", b"c", b"d"]),
+              st.sampled_from(["put", "delete"]),
+              st.binary(min_size=0, max_size=8)),
+    max_size=50,
+))
+@settings(max_examples=20, deadline=None)
+def test_model_based_vs_dict(factory_name, ops):
+    """Random op sequences behave exactly like a dict (fresh store per
+    generated example, hence no fixture)."""
+    store = STORE_FACTORIES[factory_name]()
+    reference: dict[bytes, bytes] = {}
+    for key, op, value in ops:
+        padded_key = key.ljust(8, b"\x00")
+        if op == "put":
+            store.put(key, value)
+            reference[padded_key] = value.ljust(24, b"\x00")
+        else:
+            if padded_key in reference:
+                store.delete(key)
+                del reference[padded_key]
+            else:
+                with pytest.raises(KeyNotFoundError):
+                    store.delete(key)
+    for padded_key, expected in reference.items():
+        assert store.get(padded_key) == expected
+
+
+class TestFPTreeSpecifics:
+    def test_splits_keep_order(self):
+        store = FPTreeStore(8, 24, capacity=256, leaf_fanout=4)
+        keys = [f"{i:05d}".encode() for i in range(64)]
+        rng = np.random.default_rng(0)
+        for key in rng.permutation(keys):
+            store.put(bytes(key), b"v")
+        # Leaves partition the key space in sorted order.
+        all_keys = [k for leaf in store._leaves for k in leaf.keys]
+        lows = [leaf.keys[0] for leaf in store._leaves if leaf.keys]
+        assert lows == sorted(lows)
+        assert len(all_keys) == 64
+
+    def test_split_writes_cost_nvm_lines(self):
+        store = FPTreeStore(8, 24, capacity=64, leaf_fanout=4)
+        for i in range(4):
+            store.put(f"k{i}".encode(), b"v")
+        before = store.total_nvm_lines
+        store.put(b"k9", b"v")  # forces a split
+        assert store.total_nvm_lines - before > 2
+
+    def test_rejects_tiny_fanout(self):
+        with pytest.raises(ValueError):
+            FPTreeStore(8, 24, capacity=16, leaf_fanout=2)
+
+
+class TestNoveLSMSpecifics:
+    def test_flush_and_compaction_preserve_data(self):
+        store = NoveLSMStore(8, 24, capacity=512, memtable_entries=8,
+                             l0_runs_limit=2)
+        for i in range(100):
+            store.put(f"key-{i:04d}".encode(), value_of(i))
+        assert store._l1 is not None  # compaction happened
+        for i in range(100):
+            assert store.get(f"key-{i:04d}".encode()) == value_of(i)
+
+    def test_tombstones_survive_compaction(self):
+        store = NoveLSMStore(8, 24, capacity=512, memtable_entries=4,
+                             l0_runs_limit=2)
+        store.put(b"dead", b"x")
+        store.delete(b"dead")
+        for i in range(40):  # force flushes + compactions
+            store.put(f"k{i}".encode(), b"v")
+        with pytest.raises(KeyNotFoundError):
+            store.get(b"dead")
+
+    def test_newest_value_wins_across_runs(self):
+        store = NoveLSMStore(8, 24, capacity=512, memtable_entries=4)
+        for round_no in range(3):
+            store.put(b"hot", f"round-{round_no}".encode())
+            for i in range(4):  # force a flush between rounds
+                store.put(f"pad-{round_no}-{i}".encode(), b"v")
+        assert store.get(b"hot").startswith(b"round-2")
+
+
+class TestPathHashStoreSpecifics:
+    def test_delete_is_one_bit(self):
+        store = PathHashKVStore(8, 24, capacity=64)
+        store.put(b"k", b"v")
+        before = store.nvm.stats.total_bit_updates
+        store.delete(b"k")
+        assert store.nvm.stats.total_bit_updates - before == 1
+
+    def test_no_rehashing_on_collisions(self):
+        store = PathHashKVStore(8, 24, capacity=64)
+        writes_per_put = []
+        for i in range(50):
+            before = store.nvm.stats.total_writes
+            store.put(f"k{i}".encode(), b"v")
+            writes_per_put.append(store.nvm.stats.total_writes - before)
+        # Every insert is exactly one slot write: no displacement chains.
+        assert set(writes_per_put) == {1}

@@ -1,0 +1,158 @@
+"""Unit and property tests for the packed-bit primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._bitops import (
+    POPCOUNT_TABLE,
+    array_to_bytes,
+    buffer_to_int,
+    bytes_to_array,
+    hamming_distance,
+    int_to_buffer,
+    pack_bits,
+    popcount,
+    popcount_rows,
+    rotate_bits,
+    unpack_bits,
+)
+
+byte_arrays = st.binary(min_size=1, max_size=64).map(
+    lambda b: np.frombuffer(b, dtype=np.uint8).copy()
+)
+
+
+class TestPopcount:
+    def test_table_matches_int_bit_count(self):
+        for value in range(256):
+            assert POPCOUNT_TABLE[value] == value.bit_count()
+
+    def test_zeros(self):
+        assert popcount(np.zeros(16, dtype=np.uint8)) == 0
+
+    def test_all_ones(self):
+        assert popcount(np.full(16, 0xFF, dtype=np.uint8)) == 128
+
+    def test_2d_input(self):
+        buf = np.array([[0x0F, 0xF0], [0x01, 0x80]], dtype=np.uint8)
+        assert popcount(buf) == 4 + 4 + 1 + 1
+
+    @given(byte_arrays)
+    def test_matches_python_int(self, buf):
+        expected = int.from_bytes(buf.tobytes(), "big").bit_count()
+        assert popcount(buf) == expected
+
+    def test_popcount_rows(self):
+        buf = np.array([[0xFF, 0x00], [0x01, 0x01]], dtype=np.uint8)
+        assert popcount_rows(buf).tolist() == [8, 2]
+
+    def test_popcount_rows_rejects_1d(self):
+        with pytest.raises(ValueError):
+            popcount_rows(np.zeros(4, dtype=np.uint8))
+
+
+class TestHamming:
+    def test_identical_is_zero(self, rng):
+        buf = rng.integers(0, 256, 32, dtype=np.uint8)
+        assert hamming_distance(buf, buf) == 0
+
+    def test_complement_is_all_bits(self, rng):
+        buf = rng.integers(0, 256, 32, dtype=np.uint8)
+        assert hamming_distance(buf, np.bitwise_not(buf)) == 256
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            hamming_distance(np.zeros(4, dtype=np.uint8), np.zeros(5, dtype=np.uint8))
+
+    @given(byte_arrays, byte_arrays)
+    def test_symmetry(self, a, b):
+        n = min(a.size, b.size)
+        a, b = a[:n], b[:n]
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+
+    @given(byte_arrays)
+    def test_triangle_inequality(self, a):
+        b = np.roll(a, 1)
+        c = np.bitwise_not(a)
+        assert hamming_distance(a, c) <= (
+            hamming_distance(a, b) + hamming_distance(b, c)
+        )
+
+
+class TestPackUnpack:
+    @given(byte_arrays)
+    def test_roundtrip(self, buf):
+        assert np.array_equal(pack_bits(unpack_bits(buf)), buf)
+
+    def test_pack_rejects_non_multiple_of_8(self):
+        with pytest.raises(ValueError, match="multiple of 8"):
+            pack_bits(np.ones(7, dtype=np.uint8))
+
+    def test_unpack_bit_order(self):
+        # numpy packbits: first bit is the MSB of byte 0.
+        bits = unpack_bits(np.array([0x80], dtype=np.uint8))
+        assert bits.tolist() == [1, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_pack_2d(self):
+        bits = np.zeros((2, 8), dtype=np.uint8)
+        bits[1, 7] = 1
+        packed = pack_bits(bits)
+        assert packed.shape == (2, 1)
+        assert packed[1, 0] == 1
+
+
+class TestRotate:
+    @given(byte_arrays, st.integers(min_value=-512, max_value=512))
+    def test_roundtrip(self, buf, shift):
+        nbits = buf.size * 8
+        rotated = rotate_bits(buf, shift)
+        back = rotate_bits(rotated, -shift % nbits)
+        assert np.array_equal(back, buf)
+
+    @given(byte_arrays)
+    def test_full_rotation_is_identity(self, buf):
+        assert np.array_equal(rotate_bits(buf, buf.size * 8), buf)
+
+    def test_rotate_preserves_popcount(self, rng):
+        buf = rng.integers(0, 256, 8, dtype=np.uint8)
+        for shift in (1, 7, 13, 63):
+            assert popcount(rotate_bits(buf, shift)) == popcount(buf)
+
+    def test_known_rotation(self):
+        # 0b10000000_00000000 rotated left by 1 -> 0b00000000_00000001
+        buf = np.array([0x80, 0x00], dtype=np.uint8)
+        assert rotate_bits(buf, 1).tolist() == [0x00, 0x01]
+
+    def test_empty_buffer(self):
+        out = rotate_bits(np.array([], dtype=np.uint8), 3)
+        assert out.size == 0
+
+
+class TestConversions:
+    def test_bytes_roundtrip(self):
+        data = b"hello world"
+        assert array_to_bytes(bytes_to_array(data)) == data
+
+    def test_padding(self):
+        arr = bytes_to_array(b"ab", size=4)
+        assert arr.tolist() == [97, 98, 0, 0]
+
+    def test_oversize_raises(self):
+        with pytest.raises(ValueError, match="exceeds bucket size"):
+            bytes_to_array(b"abcde", size=4)
+
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    def test_int_roundtrip(self, value):
+        assert buffer_to_int(int_to_buffer(value, 8)) == value
+
+    def test_negative_int_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            int_to_buffer(-1, 8)
+
+    def test_int_too_large_raises(self):
+        with pytest.raises(OverflowError):
+            int_to_buffer(2**64, 8)

@@ -1,0 +1,56 @@
+"""Every example script must run end to end (at reduced sizes)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    """Run an example in a subprocess and return its stdout."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "round-trip OK" in out
+    assert "cells programmed" in out
+
+
+def test_cctv_recorder():
+    out = run_example("cctv_recorder.py", "--frames", "60", "--buffer", "40")
+    assert "PNW saves" in out
+    assert "lifetime extension" in out
+
+
+def test_kv_store_comparison():
+    out = run_example("kv_store_comparison.py", "--items", "200")
+    assert "PNW (Fig. 2a)" in out
+    assert "NoveLSM" in out
+
+
+def test_wear_leveling_report():
+    out = run_example(
+        "wear_leveling_report.py", "--buckets", "80", "--updates-per-bucket", "2"
+    )
+    assert "Fig. 12" in out and "Fig. 13" in out
+    assert "p99" in out
+
+
+@pytest.mark.slow
+def test_workload_shift():
+    out = run_example("workload_shift.py")
+    assert "retrained" in out
+    assert "phase 4" in out

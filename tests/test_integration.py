@@ -1,0 +1,144 @@
+"""Cross-module integration scenarios.
+
+These tests exercise whole paths through the system — store + device +
+index + model together — and pin down end-to-end properties the unit
+tests cannot see: determinism of full runs, conservation of accounting
+across layers, and behaviour through crash/retrain cycles mid-stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PNWConfig, PNWStore
+from repro.bench import run_pnw_stream, run_scheme_stream
+from repro.workloads import AmazonAccessWorkload, make_workload
+from tests.conftest import clustered_values
+
+
+class TestEndToEndDeterminism:
+    def test_same_seed_same_metrics(self):
+        w1 = AmazonAccessWorkload(item_bytes=56, seed=4)
+        w2 = AmazonAccessWorkload(item_bytes=56, seed=4)
+        old1, new1 = w1.split_old_new(128, 200)
+        old2, new2 = w2.split_old_new(128, 200)
+        m1, s1 = run_pnw_stream(old1, new1, 4, seed=9)
+        m2, s2 = run_pnw_stream(old2, new2, 4, seed=9)
+        assert m1.bit_updates == m2.bit_updates
+        assert m1.lines_touched == m2.lines_touched
+        assert np.array_equal(s1.nvm.snapshot(), s2.nvm.snapshot())
+
+    def test_different_seed_differs(self):
+        w = AmazonAccessWorkload(item_bytes=56, seed=4)
+        old, new = w.split_old_new(128, 200)
+        m1, _ = run_pnw_stream(old, new, 4, seed=1)
+        m2, _ = run_pnw_stream(old, new, 4, seed=2)
+        # Different k-means seeds -> different clusters -> different wear.
+        assert m1.bit_updates != m2.bit_updates
+
+
+class TestAccountingConservation:
+    def test_store_reports_sum_to_device_stats(self, rng):
+        config = PNWConfig(num_buckets=64, value_bytes=24, n_clusters=2,
+                           seed=0, n_init=1)
+        store = PNWStore(config)
+        store.warm_up(clustered_values(rng, 64, 24))
+        store.metrics.keep_reports = True
+        for i in range(30):
+            store.put(f"k{i}".encode(), clustered_values(rng, 1, 24)[0])
+        reported = sum(r.bit_updates for r in store.metrics.reports)
+        assert reported == store.nvm.stats.total_bit_updates
+        reported_lines = sum(r.lines_touched for r in store.metrics.reports)
+        assert reported_lines == store.nvm.stats.total_lines_touched
+
+    def test_live_count_matches_index_and_bitmap(self, warm_store, rng):
+        for i in range(20):
+            warm_store.put(f"k{i}".encode(), b"v")
+        for i in range(0, 20, 2):
+            warm_store.delete(f"k{i}".encode())
+        assert len(warm_store) == 10
+        assert len(warm_store.index) == 10
+        bitmap_live = sum(
+            warm_store._is_valid(a)
+            for a in range(warm_store.config.num_buckets)
+        )
+        assert bitmap_live == 10
+
+    def test_pool_plus_live_covers_zone(self, warm_store):
+        for i in range(15):
+            warm_store.put(f"k{i}".encode(), b"v")
+        assert (
+            warm_store.pool.total_free + len(warm_store)
+            == warm_store.config.num_buckets
+        )
+
+
+class TestCrashMidStream:
+    def test_crash_recover_then_continue(self, rng):
+        config = PNWConfig(num_buckets=128, value_bytes=24, n_clusters=4,
+                           seed=0, n_init=1)
+        store = PNWStore(config)
+        store.warm_up(clustered_values(rng, 128, 24))
+        for i in range(40):
+            store.put(f"k{i}".encode(), bytes([i % 256]) * 24)
+        store.crash()
+        store.recover()
+        # The store remains fully usable: old keys read back, new keys land.
+        assert store.get(b"k7") == bytes([7]) * 24
+        for i in range(40, 60):
+            store.put(f"k{i}".encode(), bytes([i % 256]) * 24)
+        assert store.get(b"k55") == bytes([55]) * 24
+        assert len(store) == 60
+
+    def test_recovered_store_wear_continues_accumulating(self, rng):
+        config = PNWConfig(num_buckets=64, value_bytes=24, n_clusters=2,
+                           seed=0, n_init=1)
+        store = PNWStore(config)
+        store.warm_up(clustered_values(rng, 64, 24))
+        store.put(b"a", b"1")
+        writes_before = store.nvm.stats.total_writes
+        store.crash()
+        store.recover()
+        store.put(b"b", b"2")
+        assert store.nvm.stats.total_writes == writes_before + 1
+
+
+class TestRetrainMidStream:
+    def test_stream_with_periodic_retraining_stays_consistent(self, rng):
+        config = PNWConfig(
+            num_buckets=96, value_bytes=24, n_clusters=3, seed=0, n_init=1,
+            load_factor=0.4, retrain_check_interval=8,
+        )
+        store = PNWStore(config)
+        store.warm_up(clustered_values(rng, 96, 24))
+        live = {}
+        for i in range(200):
+            key = f"k{i % 50}".encode()
+            value = clustered_values(rng, 1, 24)[0].tobytes()
+            store.put(key, value)
+            live[key] = value
+        assert store.metrics.retrains >= 2
+        for key, value in live.items():
+            assert store.get(key) == value
+
+
+class TestSchemeStoreAgreement:
+    def test_pnw_on_identical_data_is_zero_cost(self):
+        """If every new item equals some old item bit-for-bit, probing
+        finds a perfect match and the whole stream programs ~no cells."""
+        w = AmazonAccessWorkload(item_bytes=56, seed=1, flip_rate=0.0,
+                                 n_roles=4)
+        old = w.generate(256)
+        new = old[np.random.default_rng(0).integers(0, 256, 100)]
+        metrics, _ = run_pnw_stream(old, new, 4, seed=0, live_window=1)
+        dcw = run_scheme_stream(None, old, new)
+        assert metrics.bit_updates < dcw.bit_updates * 0.2
+
+    @pytest.mark.parametrize("dataset", ["amazon", "docwords", "normal"])
+    def test_pnw_never_loses_to_inplace_dcw(self, dataset):
+        workload = make_workload(dataset, seed=6)
+        old, new = workload.split_old_new(256, 400)
+        pnw, _ = run_pnw_stream(old, new, 8, seed=6)
+        dcw = run_scheme_stream(None, old, new)
+        assert pnw.bits_per_512 <= dcw.bits_per_512 * 1.02

@@ -1,0 +1,59 @@
+"""Tests for the video scene-mode machinery (illumination cycles)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._bitops import hamming_distance
+from repro.workloads import SHERBROOKE, VideoProfile, VideoWorkload
+
+
+class TestSceneModes:
+    def test_modes_change_over_time(self):
+        w = VideoWorkload(SHERBROOKE, seed=0)
+        modes = []
+        for _ in range(SHERBROOKE.mode_period * 6):
+            w._advance()
+            modes.append(w._mode)
+        assert len(set(modes)) > 1
+
+    def test_single_mode_profile_is_static(self):
+        profile = VideoProfile(name="static", n_scene_modes=1)
+        w = VideoWorkload(profile, seed=0)
+        for _ in range(200):
+            w._advance()
+        assert w._mode == 0
+
+    def test_same_mode_frames_closer_than_cross_mode(self):
+        profile = VideoProfile(name="t", width=32, height=32, mode_period=10,
+                               n_scene_modes=4, noise_rate=0.0)
+        w = VideoWorkload(profile, seed=3)
+        frames = w.generate(200)
+        modes = []
+        # Recompute the mode sequence from a twin generator.
+        twin = VideoWorkload(profile, seed=3)
+        for _ in range(200):
+            twin._advance()
+            modes.append(twin._mode)
+        modes = np.asarray(modes)
+        same, cross = [], []
+        for i in range(0, 180, 7):
+            for j in range(i + 1, min(i + 30, 200), 7):
+                d = hamming_distance(frames[i], frames[j])
+                (same if modes[i] == modes[j] else cross).append(d)
+        if same and cross:
+            assert np.mean(same) < np.mean(cross)
+
+    def test_frame_stream_deterministic(self):
+        a = VideoWorkload(SHERBROOKE, seed=9).generate(12)
+        b = VideoWorkload(SHERBROOKE, seed=9).generate(12)
+        assert np.array_equal(a, b)
+
+    def test_objects_textured_not_solid(self):
+        """Object interiors carry a fixed pattern (vehicle texture), so a
+        moving object does not produce uniform byte runs."""
+        profile = VideoProfile(name="t", width=32, height=32, noise_rate=0.0,
+                               n_objects=1, object_size=(10, 12))
+        w = VideoWorkload(profile, seed=1)
+        texture = w._textures[0]
+        assert np.unique(texture).size > 4

@@ -1,0 +1,87 @@
+"""Property-based invariants that every write scheme must uphold.
+
+These are the contracts the NVM device and the benchmark harness rely on:
+
+1. *Round-trip*: decode(stored, aux) == logical value, after any number of
+   consecutive writes to the same location.
+2. *Mask consistency*: the update mask is exactly XOR(old physical, new
+   physical) — a scheme may not program cells it did not change, nor
+   change cells it did not program.
+3. *Shape preservation*: stored buffers keep the bucket size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.writeschemes import (
+    Captopril,
+    ConventionalWrite,
+    DataComparisonWrite,
+    FlipNWrite,
+    MinShift,
+)
+
+SCHEMES = [
+    ConventionalWrite(),
+    DataComparisonWrite(),
+    FlipNWrite(word_bytes=4),
+    MinShift(),
+    Captopril(n_segments=4),
+]
+
+buffers = st.integers(min_value=1, max_value=4).flatmap(
+    lambda words: st.binary(min_size=words * 4, max_size=words * 4)
+).map(lambda b: np.frombuffer(b, dtype=np.uint8).copy())
+
+
+@pytest.mark.parametrize("scheme", SCHEMES, ids=lambda s: s.name)
+class TestSchemeContracts:
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_after_write_chain(self, scheme, data):
+        """Writing a chain of values and decoding after each one always
+        recovers the last logical value."""
+        nwords = data.draw(st.integers(min_value=1, max_value=3))
+        width = nwords * 4
+        physical = np.frombuffer(
+            data.draw(st.binary(min_size=width, max_size=width)), dtype=np.uint8
+        ).copy()
+        aux = None
+        for _ in range(3):
+            logical = np.frombuffer(
+                data.draw(st.binary(min_size=width, max_size=width)), dtype=np.uint8
+            ).copy()
+            outcome = scheme.prepare(physical, logical, aux)
+            physical, aux = outcome.stored, outcome.aux_state
+            assert np.array_equal(scheme.decode(physical, aux), logical)
+
+    @given(buffers, buffers)
+    @settings(max_examples=30, deadline=None)
+    def test_mask_is_physical_xor(self, scheme, a, b):
+        n = min(a.size, b.size) // 4 * 4
+        if n == 0:
+            return
+        old, new = a[:n], b[:n]
+        outcome = scheme.prepare(old, new, None)
+        assert np.array_equal(
+            outcome.update_mask, np.bitwise_xor(old, outcome.stored)
+        ) or scheme.name == "Conventional"
+        if scheme.name == "Conventional":
+            # Conventional programs everything; mask must cover the XOR.
+            xor = np.bitwise_xor(old, outcome.stored)
+            assert np.array_equal(np.bitwise_and(outcome.update_mask, xor), xor)
+
+    @given(buffers, buffers)
+    @settings(max_examples=30, deadline=None)
+    def test_stored_shape_matches(self, scheme, a, b):
+        n = min(a.size, b.size) // 4 * 4
+        if n == 0:
+            return
+        outcome = scheme.prepare(a[:n], b[:n], None)
+        assert outcome.stored.shape == (n,)
+        assert outcome.update_mask.shape == (n,)
+        assert outcome.aux_bit_updates >= 0

@@ -1,0 +1,202 @@
+"""Unit tests for each write scheme's exact semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._bitops import hamming_distance, popcount, rotate_bits
+from repro.writeschemes import (
+    Captopril,
+    ConventionalWrite,
+    DataComparisonWrite,
+    FlipNWrite,
+    MinShift,
+    default_schemes,
+)
+
+
+def buf(*values: int) -> np.ndarray:
+    return np.array(values, dtype=np.uint8)
+
+
+class TestConventional:
+    def test_programs_every_cell(self):
+        scheme = ConventionalWrite()
+        old = buf(0x00, 0xFF, 0xAA, 0x55)
+        new = buf(0x00, 0xFF, 0xAA, 0x55)  # identical data still pays
+        outcome = scheme.prepare(old, new)
+        assert popcount(outcome.update_mask) == 32
+        assert outcome.aux_bit_updates == 0
+
+    def test_stores_verbatim(self):
+        scheme = ConventionalWrite()
+        new = buf(1, 2, 3, 4)
+        outcome = scheme.prepare(buf(9, 9, 9, 9), new)
+        assert np.array_equal(outcome.stored, new)
+
+
+class TestDCW:
+    def test_updates_equal_hamming(self, rng):
+        scheme = DataComparisonWrite()
+        old = rng.integers(0, 256, 16, dtype=np.uint8)
+        new = rng.integers(0, 256, 16, dtype=np.uint8)
+        outcome = scheme.prepare(old, new)
+        assert popcount(outcome.update_mask) == hamming_distance(old, new)
+
+    def test_no_write_when_identical(self):
+        scheme = DataComparisonWrite()
+        data = buf(7, 7, 7, 7)
+        outcome = scheme.prepare(data, data)
+        assert popcount(outcome.update_mask) == 0
+
+    def test_decode_is_identity(self):
+        scheme = DataComparisonWrite()
+        data = buf(1, 2, 3, 4)
+        assert np.array_equal(scheme.decode(data, None), data)
+
+
+class TestFNW:
+    def test_inverts_when_most_bits_flip(self):
+        scheme = FlipNWrite(word_bytes=4)
+        old = buf(0x00, 0x00, 0x00, 0x00)
+        new = buf(0xFF, 0xFF, 0xFF, 0xFE)  # 31 of 32 bits differ
+        outcome = scheme.prepare(old, new, None)
+        # Storing inverted costs 1 data bit + 1 flip bit < 31.
+        assert popcount(outcome.update_mask) == 1
+        assert outcome.aux_bit_updates == 1
+        assert outcome.aux_state.tolist() == [True]
+
+    def test_plain_when_few_bits_flip(self):
+        scheme = FlipNWrite(word_bytes=4)
+        old = buf(0x00, 0x00, 0x00, 0x00)
+        new = buf(0x01, 0x00, 0x00, 0x00)
+        outcome = scheme.prepare(old, new, None)
+        assert popcount(outcome.update_mask) == 1
+        assert outcome.aux_bit_updates == 0
+        assert outcome.aux_state.tolist() == [False]
+
+    def test_bound_per_word(self, rng):
+        scheme = FlipNWrite(word_bytes=4)
+        for _ in range(50):
+            old = rng.integers(0, 256, 8, dtype=np.uint8)
+            new = rng.integers(0, 256, 8, dtype=np.uint8)
+            outcome = scheme.prepare(old, new, None)
+            per_word_bound = (32 + 1 + 1) // 2  # ceil((w+1)/2)
+            total = popcount(outcome.update_mask) + outcome.aux_bit_updates
+            assert total <= per_word_bound * 2
+
+    def test_decode_roundtrip(self, rng):
+        scheme = FlipNWrite(word_bytes=4)
+        old = rng.integers(0, 256, 12, dtype=np.uint8)
+        new = rng.integers(0, 256, 12, dtype=np.uint8)
+        outcome = scheme.prepare(old, new, None)
+        assert np.array_equal(scheme.decode(outcome.stored, outcome.aux_state), new)
+
+    def test_flip_bit_cost_on_reversal(self):
+        scheme = FlipNWrite(word_bytes=4)
+        old = buf(0xFF, 0xFF, 0xFF, 0xFF)
+        # Previously stored inverted (flip=1); now write data equal to the
+        # stored physical pattern -> keeping it inverted would be free, but
+        # the logical value is different.
+        outcome = scheme.prepare(old, buf(0xFF, 0xFF, 0xFF, 0xFF),
+                                 np.array([True]))
+        # Candidate plain: hamming(old, new)=0 but flip bit 1->0 costs 1.
+        # Candidate inverted: hamming(old, ~new)=32 + 0.  Plain wins.
+        assert popcount(outcome.update_mask) == 0
+        assert outcome.aux_bit_updates == 1
+
+    def test_rejects_bad_word_size(self):
+        with pytest.raises(ValueError):
+            FlipNWrite(word_bytes=0)
+
+    def test_rejects_unaligned_buffer(self):
+        scheme = FlipNWrite(word_bytes=4)
+        with pytest.raises(ValueError, match="multiple"):
+            scheme.prepare(buf(1, 2, 3), buf(1, 2, 3), None)
+
+
+class TestMinShift:
+    def test_finds_exact_rotation(self, rng):
+        scheme = MinShift()
+        old = rng.integers(0, 256, 8, dtype=np.uint8)
+        new = rotate_bits(old, -5)  # rotating new left by 5 recovers old
+        outcome = scheme.prepare(old, new, None)
+        # A perfect alignment exists, so data updates should be zero.
+        assert popcount(outcome.update_mask) == 0
+
+    def test_never_worse_than_dcw_on_data_bits(self, rng):
+        scheme = MinShift()
+        for _ in range(20):
+            old = rng.integers(0, 256, 8, dtype=np.uint8)
+            new = rng.integers(0, 256, 8, dtype=np.uint8)
+            outcome = scheme.prepare(old, new, None)
+            assert popcount(outcome.update_mask) <= hamming_distance(old, new)
+
+    def test_decode_roundtrip(self, rng):
+        scheme = MinShift()
+        old = rng.integers(0, 256, 16, dtype=np.uint8)
+        new = rng.integers(0, 256, 16, dtype=np.uint8)
+        outcome = scheme.prepare(old, new, None)
+        assert np.array_equal(scheme.decode(outcome.stored, outcome.aux_state), new)
+
+    def test_shift_field_cost_counted(self, rng):
+        scheme = MinShift()
+        old = rng.integers(0, 256, 8, dtype=np.uint8)
+        new = rotate_bits(old, -1)
+        outcome = scheme.prepare(old, new, None)
+        if outcome.aux_state != 0:
+            assert outcome.aux_bit_updates > 0
+
+    def test_rotation_scores_match_bruteforce(self, rng):
+        from repro.writeschemes.minshift import _rotation_hammings
+        from repro._bitops import unpack_bits
+
+        old = rng.integers(0, 256, 4, dtype=np.uint8)
+        new = rng.integers(0, 256, 4, dtype=np.uint8)
+        fast = _rotation_hammings(unpack_bits(old), unpack_bits(new))
+        for shift in range(32):
+            expected = hamming_distance(old, rotate_bits(new, shift))
+            assert fast[shift] == expected
+
+
+class TestCaptopril:
+    def test_inverts_heavy_segments(self):
+        scheme = Captopril(n_segments=2)
+        old = buf(0x00, 0x00)
+        new = buf(0xFF, 0x01)
+        outcome = scheme.prepare(old, new, None)
+        # Segment 0 (first byte) flips all 8 bits -> invert (0 data bits +
+        # 1 mask bit); segment 1 writes 1 bit plain.
+        assert popcount(outcome.update_mask) == 1
+        assert outcome.aux_bit_updates == 1
+        assert outcome.aux_state.tolist() == [True, False]
+
+    def test_decode_roundtrip(self, rng):
+        scheme = Captopril(n_segments=16)
+        old = rng.integers(0, 256, 64, dtype=np.uint8)
+        new = rng.integers(0, 256, 64, dtype=np.uint8)
+        outcome = scheme.prepare(old, new, None)
+        assert np.array_equal(scheme.decode(outcome.stored, outcome.aux_state), new)
+
+    def test_name_includes_segments(self):
+        assert Captopril(16).name == "CAP16"
+        assert Captopril(8).name == "CAP8"
+
+    def test_rejects_nonpositive_segments(self):
+        with pytest.raises(ValueError):
+            Captopril(0)
+
+    def test_segment_bounds_cover_block(self):
+        scheme = Captopril(n_segments=16)
+        bounds = scheme._segment_bounds(512)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 512
+        for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+            assert stop == start
+
+
+class TestDefaultSchemes:
+    def test_contains_papers_baselines(self):
+        names = [s.name for s in default_schemes()]
+        assert names == ["Conventional", "DCW", "FNW", "MinShift", "CAP16"]
