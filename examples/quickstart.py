@@ -67,6 +67,26 @@ def main() -> None:
     print(f"DEL  sensor-3 -> address {report.address} recycled into "
           f"cluster {report.cluster}")
 
+    # Batched writes: put_many featurizes the whole batch as one matrix
+    # and predicts every cluster in a single K-Means call, yet leaves the
+    # store byte-identical to the same puts issued one at a time.
+    batch = []
+    for i in range(64):
+        noisy = profiles[i % 8] ^ np.packbits(
+            (rng.random(56 * 8) < 0.01).astype(np.uint8)
+        )
+        batch.append((f"cam-{i}".encode(), noisy))
+    reports = store.put_many(batch)
+    mean_cells = np.mean([r.bit_updates for r in reports])
+    print(f"PUT  x{len(reports)} (one put_many batch) -> "
+          f"mean {mean_cells:.1f} cells programmed per write")
+
+    # The batch API covers the full mutation surface.
+    store.update_many([(key, profiles[0]) for key, _ in batch[:8]])
+    store.delete_many([key for key, _ in batch])
+    print(f"UPD  x8 / DEL x{len(batch)} (batched) -> "
+          f"{store.pool.total_free} addresses free again")
+
     summary = store.nvm.stats.summary()
     print(f"\nzone totals: {summary['writes']:.0f} writes, "
           f"{summary['bit_updates']:.0f} cells programmed, "

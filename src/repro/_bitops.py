@@ -5,8 +5,10 @@ arrays of *packed* bytes (8 bits per element).  This module provides the
 vectorised bit-level operations that the NVM simulator, the write schemes,
 and the featurizers are built on:
 
-* population count (number of set bits) of packed byte arrays,
-* Hamming distance between equal-length byte buffers,
+* population count (number of set bits) of packed byte arrays, both as
+  a scalar total and per row of a matrix (the batch write pipeline),
+* Hamming distance between equal-length byte buffers, scalar and
+  row-wise,
 * packing/unpacking between byte buffers and 0/1 bit vectors,
 * circular bit rotation of a packed buffer (used by MinShift),
 * integer <-> fixed-width byte-buffer conversion helpers.
@@ -22,7 +24,9 @@ import numpy as np
 __all__ = [
     "POPCOUNT_TABLE",
     "popcount",
+    "popcount_rows",
     "hamming_distance",
+    "hamming_rows",
     "pack_bits",
     "unpack_bits",
     "rotate_bits",
@@ -68,6 +72,23 @@ def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
     if a.shape != b.shape:
         raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
     return popcount(np.bitwise_xor(a, b))
+
+
+def hamming_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-row Hamming distance between two packed ``(n, width)`` matrices.
+
+    Row ``i`` of the result is ``hamming_distance(a[i], b[i])`` — the
+    row-wise sibling of :func:`hamming_distance`.  (Callers that already
+    hold the XOR mask should use :func:`popcount_rows` directly, as the
+    multi-row write path does.)
+    """
+    a = np.ascontiguousarray(a, dtype=np.uint8)
+    b = np.ascontiguousarray(b, dtype=np.uint8)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.ndim != 2:
+        raise ValueError(f"expected 2-D arrays, got shape {a.shape}")
+    return popcount_rows(np.bitwise_xor(a, b))
 
 
 def pack_bits(bits: np.ndarray) -> np.ndarray:

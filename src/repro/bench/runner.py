@@ -186,30 +186,49 @@ class PNWStreamSession:
         self,
         new_values: np.ndarray,
         per_item: list[int] | None = None,
+        *,
+        batch_size: int = 1,
     ) -> StreamMetrics:
         """Stream ``new_values`` through the store; aggregate the costs.
 
         When ``per_item`` is given, each item's bit updates are appended
         to it (the Fig. 10 time series needs the trajectory, not just the
         mean).
+
+        ``batch_size`` feeds the store through the batch pipeline: each
+        group of up to ``batch_size`` items goes in as one
+        :meth:`~repro.core.store.PNWStore.put_many` call, followed by the
+        :meth:`~repro.core.store.PNWStore.delete_many` that restores the
+        live window.  ``batch_size=1`` reproduces the classic
+        one-PUT-one-eviction schedule of the paper's figures exactly;
+        larger batches change the PUT/DELETE interleaving (a whole batch
+        lands before its evictions), which is the schedule a batching
+        front-end would produce.
         """
         store = self.store
         metrics = StreamMetrics(item_bits=store.config.bucket_bytes * 8)
-        for item in np.atleast_2d(new_values):
-            key = key_for(self._next_key)
-            self._next_key += 1
-            report = store.put(key, item)
-            self._live.append(key)
-            metrics.items += 1
-            metrics.bit_updates += report.bit_updates
-            metrics.lines_touched += report.lines_touched
-            metrics.words_touched += report.words_touched
-            metrics.nvm_latency_ns += report.nvm_latency_ns
-            metrics.predict_ns += report.predict_ns
-            if per_item is not None:
-                per_item.append(report.bit_updates)
-            if len(self._live) > self.live_window:
-                store.delete(self._live.popleft())
+        values = np.atleast_2d(new_values)
+        batch_size = max(1, int(batch_size))
+        for start in range(0, values.shape[0], batch_size):
+            chunk = values[start : start + batch_size]
+            keys = [key_for(self._next_key + j) for j in range(chunk.shape[0])]
+            self._next_key += chunk.shape[0]
+            reports = store.put_many(list(zip(keys, chunk)))
+            self._live.extend(keys)
+            for report in reports:
+                metrics.items += 1
+                metrics.bit_updates += report.bit_updates
+                metrics.lines_touched += report.lines_touched
+                metrics.words_touched += report.words_touched
+                metrics.nvm_latency_ns += report.nvm_latency_ns
+                metrics.predict_ns += report.predict_ns
+                if per_item is not None:
+                    per_item.append(report.bit_updates)
+            overflow = len(self._live) - self.live_window
+            if overflow > 0:
+                store.delete_many(
+                    [self._live.popleft() for _ in range(overflow)]
+                )
         return metrics
 
 
@@ -224,6 +243,7 @@ def run_pnw_stream(
     pca_components: int | None = None,
     track_bit_wear: bool = False,
     probe_limit: int = 64,
+    batch_size: int = 1,
 ) -> tuple[StreamMetrics, PNWStore]:
     """One-shot PNW replacement stream (see :class:`PNWStreamSession`)."""
     session = PNWStreamSession(
@@ -236,7 +256,7 @@ def run_pnw_stream(
         track_bit_wear=track_bit_wear,
         probe_limit=probe_limit,
     )
-    metrics = session.run(new_values)
+    metrics = session.run(new_values, batch_size=batch_size)
     return metrics, session.store
 
 

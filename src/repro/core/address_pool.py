@@ -14,7 +14,7 @@ compute its live fraction against the load factor.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -131,6 +131,52 @@ class DynamicAddressPool:
             f"no free address in any of {self.n_clusters} clusters"
         )
 
+    def get_best_many(
+        self,
+        clusters: np.ndarray,
+        scorer: Callable[[int, np.ndarray], np.ndarray],
+        probe_limit: int,
+        fallback_orders: Sequence[np.ndarray] | np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Pop one best-matching free address per request, in order.
+
+        The bulk side of Algorithm 2, line 2: ``clusters[i]`` is request
+        ``i``'s predicted cluster, ``fallback_orders[i]`` its
+        nearest-first cluster order, and ``scorer(i, addrs)`` must return
+        the Hamming distances of request ``i``'s payload to the candidate
+        ``addrs``.  Pops are applied strictly in request order, so the
+        result — free-list order included — is identical to calling
+        :meth:`get_best` once per request.
+
+        Returns ``(addresses, fallback_used)`` where ``fallback_used[i]``
+        records whether request ``i`` found its predicted cluster empty
+        (the condition the store counts as a fallback).  When the pool
+        runs dry mid-batch the raised :class:`PoolExhaustedError` carries
+        ``partial_addresses`` / ``partial_fallbacks`` with the
+        already-popped prefix, which stays popped — exactly like a
+        sequential loop that dies on request ``i``.
+        """
+        clusters = np.asarray(clusters, dtype=np.int64)
+        n = clusters.size
+        addresses = np.empty(n, dtype=np.int64)
+        fallback_used = np.zeros(n, dtype=bool)
+        for i in range(n):
+            cluster = int(clusters[i])
+            fallback_used[i] = len(self._free_lists[cluster]) == 0
+            order = None if fallback_orders is None else fallback_orders[i]
+            try:
+                addresses[i] = self.get_best(
+                    cluster,
+                    lambda addrs, i=i: scorer(i, addrs),
+                    probe_limit,
+                    order,
+                )
+            except PoolExhaustedError as exc:
+                exc.partial_addresses = addresses[:i].copy()
+                exc.partial_fallbacks = fallback_used[:i].copy()
+                raise
+        return addresses, fallback_used
+
     def release(self, address: int, cluster: int) -> None:
         """Recycle a freed address into ``cluster`` (Algorithm 3, line 4)."""
         if not 0 <= address < self.num_addresses:
@@ -161,6 +207,10 @@ class DynamicAddressPool:
     def cluster_sizes(self) -> list[int]:
         """Free-list length per cluster (Fig. 5's table column)."""
         return [len(free_list) for free_list in self._free_lists]
+
+    def cluster_size(self, cluster: int) -> int:
+        """Free-list length of one cluster (the hot-path fallback check)."""
+        return len(self._free_lists[cluster])
 
     def free_addresses(self) -> np.ndarray:
         """All currently free addresses (sorted)."""

@@ -67,6 +67,20 @@ class Featurizer:
         """Feature vector of a single bucket (the PUT hot path)."""
         return self.transform(row[None, :])[0]
 
+    def transform_many(self, rows: np.ndarray) -> np.ndarray:
+        """Feature matrix of a batch of buckets (the batched PUT path).
+
+        Encoding is row-wise, so for the raw featurizers each row's
+        features are bit-identical to :meth:`transform_one` on that row;
+        with PCA attached, BLAS may round matrix and vector products
+        differently, so batch and single features agree only to float
+        tolerance.
+        """
+        rows = np.asarray(rows)
+        if rows.ndim != 2:
+            raise ValueError(f"expected a 2-D batch, got shape {rows.shape}")
+        return self.transform(rows)
+
 
 class BitFeaturizer(Featurizer):
     """One feature per bit: exact Hamming geometry."""

@@ -84,13 +84,28 @@ class ModelManager:
         Timed with a monotonic clock; the accumulated mean is the
         "latency of prediction per item" the paper reports in Fig. 6.
         """
+        return int(self.predict_many(np.asarray(bucket)[None, :])[0])
+
+    def predict_many(self, rows: np.ndarray) -> np.ndarray:
+        """Cluster labels of a batch of buckets in one vectorized call.
+
+        The batched side of Algorithm 2, line 1: one featurizer pass and
+        one distance computation cover the whole batch.  Row ``i``'s
+        label matches :meth:`predict` on that row (same kernel), and the
+        whole batch is timed as one prediction interval covering
+        ``rows.shape[0]`` items.
+        """
         if self.model is None or self.featurizer is None:
             raise NotFittedError("train() has not been called")
+        rows = np.atleast_2d(rows)
         started = time.perf_counter_ns()
-        label = self.model.predict_one(self.featurizer.transform_one(bucket))
+        distances = self.model.centroid_distances(
+            self.featurizer.transform_many(rows)
+        )
+        labels = np.argmin(distances, axis=1).astype(np.int64)
         self.predict_ns_total += time.perf_counter_ns() - started
-        self.predict_count += 1
-        return label
+        self.predict_count += rows.shape[0]
+        return labels
 
     def fallback_order(self, bucket: np.ndarray) -> np.ndarray:
         """All clusters sorted nearest-first (§V-C).
@@ -99,15 +114,25 @@ class ModelManager:
         prediction and its fallbacks from one distance computation.  Timed
         like :meth:`predict`.
         """
+        return self.fallback_order_many(np.asarray(bucket)[None, :])[0]
+
+    def fallback_order_many(self, rows: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`fallback_order` for a batch of buckets.
+
+        Returns an ``(n, n_clusters)`` matrix whose row ``i`` sorts all
+        clusters nearest-first for bucket ``i`` — the single vectorized
+        K-Means call behind ``PNWStore.put_many``.
+        """
         if self.model is None or self.featurizer is None:
             raise NotFittedError("train() has not been called")
+        rows = np.atleast_2d(rows)
         started = time.perf_counter_ns()
-        order = self.model.centroid_order_by_distance(
-            self.featurizer.transform_one(bucket)
+        orders = self.model.centroid_order_by_distance_many(
+            self.featurizer.transform_many(rows)
         )
         self.predict_ns_total += time.perf_counter_ns() - started
-        self.predict_count += 1
-        return order
+        self.predict_count += rows.shape[0]
+        return orders
 
     # ------------------------------------------------------------------ #
 

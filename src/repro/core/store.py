@@ -21,11 +21,16 @@ model, and pool purely from NVM state.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
-from .._bitops import bytes_to_array
-from ..errors import DuplicateKeyError, KeyNotFoundError, ReproError
+from ..errors import (
+    DuplicateKeyError,
+    KeyNotFoundError,
+    PoolExhaustedError,
+    ReproError,
+)
 from ..index.base import KeyIndex
 from ..index.dram_hash import DRAMHashIndex
 from ..index.path_hashing import PathHashingIndex
@@ -138,14 +143,43 @@ class PNWStore:
 
     def _encode_pair(self, key: bytes, value: bytes | np.ndarray) -> np.ndarray:
         """Pack a K/V pair into one bucket payload."""
-        if isinstance(value, np.ndarray):
-            value = value.tobytes()
-        payload = np.empty(self.config.bucket_bytes, dtype=np.uint8)
-        payload[: self.config.key_bytes] = bytes_to_array(key, self.config.key_bytes)
-        payload[self.config.key_bytes :] = bytes_to_array(
-            value, self.config.value_bytes
+        return self._encode_pairs([self._normalize(key)], [value])[0]
+
+    def _encode_pairs(
+        self, keys: list[bytes], values: list[bytes | np.ndarray]
+    ) -> np.ndarray:
+        """Pack normalized keys and their values into an ``(n, bucket_bytes)``
+        payload matrix — the single-matrix featurizer input of the batch
+        pipeline.  Values are validated up front, so an oversized value
+        rejects the batch before anything is written."""
+        value_bytes = self.config.value_bytes
+        self._validate_values(values)
+        parts: list[bytes] = []
+        for key, value in zip(keys, values):
+            if isinstance(value, np.ndarray):
+                value = value.tobytes()
+            parts.append(key)
+            parts.append(value.ljust(value_bytes, b"\x00"))
+        return (
+            np.frombuffer(b"".join(parts), dtype=np.uint8)
+            .reshape(len(keys), self.config.bucket_bytes)
+            .copy()
         )
-        return payload
+
+    def _validate_values(self, values: list[bytes | np.ndarray]) -> None:
+        """Reject oversized values without materialising anything.
+
+        Batch entry points run this over the *whole* batch before the
+        first mutation, so a bad value anywhere — even past a chunk
+        boundary — rejects the batch with the store untouched.
+        """
+        value_bytes = self.config.value_bytes
+        for value in values:
+            size = value.nbytes if isinstance(value, np.ndarray) else len(value)
+            if size > value_bytes:
+                raise ValueError(
+                    f"value of {size} bytes exceeds bucket size {value_bytes}"
+                )
 
     def _normalize(self, key: bytes) -> bytes:
         return KeyIndex.normalize_key(key, self.config.key_bytes)
@@ -164,6 +198,34 @@ class PNWStore:
         else:
             word[byte_id] &= ~(1 << bit_in_byte) & 0xFF
         self.flags_nvm.write(word_id, word)
+
+    def _set_valid_many(self, addresses: np.ndarray, valid: bool) -> None:
+        """Batch :meth:`_set_valid` with per-word coalescing.
+
+        The bitmap *contents* end up identical to per-address flag writes,
+        but each touched 4-byte flag word is programmed once per batch
+        instead of once per address — the bitmap half of the batch
+        pipeline's write saving.  (Flag-region write counts therefore
+        differ from the sequential path; data-zone accounting stays
+        byte-identical.)  Callers must not mix sets and clears of the same
+        address in one call.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if self._valid_dram is not None:
+            for address in addresses:
+                self._valid_dram[address] = valid
+                self.memory.dram.write(1)
+            return
+        word_ids, bits = np.divmod(addresses, 32)
+        for word_id in np.unique(word_ids):
+            word = self.flags_nvm.peek(int(word_id))
+            for bit in bits[word_ids == word_id]:
+                byte_id, bit_in_byte = divmod(int(bit), 8)
+                if valid:
+                    word[byte_id] |= 1 << bit_in_byte
+                else:
+                    word[byte_id] &= ~(1 << bit_in_byte) & 0xFF
+            self.flags_nvm.write(int(word_id), word)
 
     def _is_valid(self, address: int) -> bool:
         if self._valid_dram is not None:
@@ -243,56 +305,195 @@ class PNWStore:
     # ------------------------------------------------------------------ #
 
     def put(self, key: bytes, value: bytes | np.ndarray) -> OperationReport:
-        """PUT (Algorithm 2).  Existing keys follow the update mode."""
-        key = self._normalize(key)
-        if key in self.index:
-            return self.update(key, value)
+        """PUT (Algorithm 2).  Existing keys follow the update mode.
 
-        payload = self._encode_pair(key, value)
+        A thin single-pair wrapper over :meth:`put_many`, so the
+        sequential and batched paths are literally the same code.
+        """
+        return self.put_many([(key, value)])[0]
+
+    def put_many(
+        self,
+        pairs: Iterable[tuple[bytes, bytes | np.ndarray]],
+        *,
+        unique: bool = False,
+    ) -> list[OperationReport]:
+        """Batched PUT: vectorized Algorithm 2 over many K/V pairs.
+
+        The pipeline featurizes the whole batch as one matrix, predicts
+        every cluster in one K-Means call, bulk-pops best-match addresses
+        from the pool, and commits the data-comparison writes through the
+        device's multi-row path — while leaving the store byte-identical
+        (data zone, flag bitmap, index, wear counters, pool order) to
+        calling :meth:`put` once per pair in order.  To guarantee that,
+        the batch is internally chunked so a retrain check can only fire
+        where the sequential loop would run it, and pairs whose key
+        already exists are routed through the update mode exactly like a
+        sequential PUT.  (The byte-identical guarantee holds for the raw
+        bit/byte featurizers — the defaults; with PCA attached, batch and
+        single-row features agree only to float tolerance, so a near-tie
+        between centroids can steer a pair differently.)
+
+        With ``unique=True`` the whole batch is validated first and a
+        :class:`DuplicateKeyError` is raised — before anything is
+        written — if any key already exists or appears twice in the
+        batch (the batch form of :meth:`put_unique`).
+
+        Value validation happens up front: an oversized value rejects the
+        batch before any mutation.  A :class:`PoolExhaustedError`
+        mid-batch commits the already-placed prefix (as the sequential
+        loop would) before escaping; the escaping exception carries
+        ``committed_reports`` — the in-order reports of every pair of
+        *this call* that fully committed — so callers can retry exactly
+        the remainder.  Returns one report per pair, in order.
+        """
+        items = [(self._normalize(key), value) for key, value in pairs]
+        self._validate_values([value for _, value in items])
+        if unique:
+            seen: set[bytes] = set()
+            for key, _ in items:
+                if key in self.index or key in seen:
+                    raise DuplicateKeyError(f"key {key!r} already exists")
+                seen.add(key)
+        reports: list[OperationReport] = []
+        i, n = 0, len(items)
+        while i < n:
+            key, value = items[i]
+            if key in self.index:
+                reports.append(self._batch_step(reports, self.update, key, value))
+                i += 1
+                continue
+            # Open a chunk of fresh, distinct keys.  Its length is capped
+            # so the next retrain check can fire only at the chunk's last
+            # operation — after every deferred write has landed — which
+            # is exactly where the sequential loop would retrain.
+            cap = self.config.retrain_check_interval - self._mutations_since_check
+            chunk_keys, chunk_values, taken = [key], [value], {key}
+            i += 1
+            pending_update: tuple[bytes, bytes | np.ndarray] | None = None
+            while i < n and len(chunk_keys) < cap:
+                next_key, next_value = items[i]
+                if next_key in taken:
+                    break
+                if next_key in self.index:
+                    pending_update = (next_key, next_value)
+                    i += 1
+                    break
+                chunk_keys.append(next_key)
+                chunk_values.append(next_value)
+                taken.add(next_key)
+                i += 1
+            reports.extend(
+                self._batch_step(reports, self._put_chunk, chunk_keys, chunk_values)
+            )
+            if pending_update is not None:
+                reports.append(
+                    self._batch_step(reports, self.update, *pending_update)
+                )
+        return reports
+
+    def _batch_step(self, reports, step, *args):
+        """Run one piece of a batch call; on :class:`PoolExhaustedError`
+        stamp the exception with ``committed_reports`` — everything this
+        batch call committed so far (earlier chunks plus the failing
+        chunk's flushed prefix) — so callers can see exactly which pairs
+        landed before the pool ran dry."""
+        try:
+            return step(*args)
+        except PoolExhaustedError as exc:
+            exc.committed_reports = list(reports) + list(
+                exc.__dict__.pop("chunk_reports", [])
+            )
+            raise
+
+    def _put_chunk(
+        self, keys: list[bytes], values: list[bytes | np.ndarray]
+    ) -> list[OperationReport]:
+        """Steered PUT of fresh, distinct keys as one vectorized batch.
+
+        Caller guarantees: no key is in the index, keys are distinct, and
+        the chunk is short enough that a retrain check can only fire at
+        its last operation.  Deferring the data writes to one multi-row
+        commit is safe because chunk writes only land on just-popped
+        addresses, which are no longer candidates for later pops — so
+        every Hamming probe sees exactly the bytes the sequential loop
+        would have seen.
+        """
+        m = len(keys)
+        payloads = self._encode_pairs(keys, values)
         predict_before = self.manager.predict_ns_total
         if self.manager.is_trained:
-            order = self.manager.fallback_order(payload)
-            cluster = int(order[0])
+            orders = self.manager.fallback_order_many(payloads)
+            clusters = np.ascontiguousarray(orders[:, 0], dtype=np.int64)
         else:
-            order = None
-            cluster = 0
-        predict_ns = self.manager.predict_ns_total - predict_before
+            orders = None
+            clusters = np.zeros(m, dtype=np.int64)
+        predict_ns = float(self.manager.predict_ns_total - predict_before) / m
 
-        fallback_used = self.pool.cluster_sizes()[cluster] == 0
-        address = self.pool.get_best(
-            cluster,
-            lambda addrs: self.nvm.hamming_many(addrs, payload),
-            self.config.probe_limit,
-            order,
+        def scorer(i: int, addrs: np.ndarray) -> np.ndarray:
+            return self.nvm.hamming_many(addrs, payloads[i])
+
+        try:
+            addresses, fallbacks = self.pool.get_best_many(
+                clusters, scorer, self.config.probe_limit, orders
+            )
+        except PoolExhaustedError as exc:
+            # Commit the prefix the pool did serve — the state a
+            # sequential loop leaves behind when it dies on this PUT.
+            done = int(exc.partial_addresses.size)
+            exc.chunk_reports = (
+                self._commit_puts(
+                    keys[:done], payloads[:done], exc.partial_addresses,
+                    exc.partial_fallbacks, clusters[:done], predict_ns,
+                )
+                if done
+                else []
+            )
+            raise
+        return self._commit_puts(
+            keys, payloads, addresses, fallbacks, clusters, predict_ns
         )
-        if fallback_used:
-            self.metrics.fallbacks += 1
 
-        index_lines_before = self._index_lines_snapshot()
-        report = self.nvm.write(address, payload)
-        self._set_valid(address, True)
-        self.index.put(key, address)
-        index_lines = self._index_lines_snapshot() - index_lines_before
-
-        self._live_count += 1
-        self.metrics.puts += 1
-        retrained = self._maybe_retrain()
-        op = OperationReport(
-            op="put",
-            key=key,
-            address=address,
-            cluster=cluster,
-            fallback_used=fallback_used,
-            bit_updates=report.bit_updates,
-            words_touched=report.words_touched,
-            lines_touched=report.lines_touched,
-            nvm_latency_ns=report.latency_ns,
-            predict_ns=float(predict_ns),
-            index_lines=index_lines,
-            retrained=retrained,
-        )
-        self.metrics.record(op)
-        return op
+    def _commit_puts(
+        self,
+        keys: list[bytes],
+        payloads: np.ndarray,
+        addresses: np.ndarray,
+        fallbacks: np.ndarray,
+        clusters: np.ndarray,
+        predict_ns: float,
+    ) -> list[OperationReport]:
+        """Flush a chunk of placed PUTs: multi-row write, coalesced flag
+        bits, per-op index inserts and retrain checks, reports."""
+        m = len(keys)
+        self.metrics.fallbacks += int(np.count_nonzero(fallbacks))
+        write_reports = self.nvm.write_many(addresses, payloads[:m])
+        self._set_valid_many(addresses, True)
+        reports: list[OperationReport] = []
+        for i in range(m):
+            index_lines_before = self._index_lines_snapshot()
+            self.index.put(keys[i], int(addresses[i]))
+            index_lines = self._index_lines_snapshot() - index_lines_before
+            self._live_count += 1
+            self.metrics.puts += 1
+            retrained = self._maybe_retrain()
+            op = OperationReport(
+                op="put",
+                key=keys[i],
+                address=int(addresses[i]),
+                cluster=int(clusters[i]),
+                fallback_used=bool(fallbacks[i]),
+                bit_updates=write_reports[i].bit_updates,
+                words_touched=write_reports[i].words_touched,
+                lines_touched=write_reports[i].lines_touched,
+                nvm_latency_ns=write_reports[i].latency_ns,
+                predict_ns=predict_ns,
+                index_lines=index_lines,
+                retrained=retrained,
+            )
+            self.metrics.record(op)
+            reports.append(op)
+        return reports
 
     def get(self, key: bytes) -> bytes:
         """GET (§V-B4): index lookup, then a data-zone read."""
@@ -303,37 +504,81 @@ class PNWStore:
         return bucket[self.config.key_bytes :].tobytes()
 
     def delete(self, key: bytes) -> OperationReport:
-        """DELETE (Algorithm 3): flag reset + address recycling."""
-        key = self._normalize(key)
-        address = self.index.delete(key)
-        self._set_valid(address, False)
+        """DELETE (Algorithm 3): flag reset + address recycling.
 
-        old = self.nvm.peek(address)
+        A thin single-key wrapper over :meth:`delete_many`.
+        """
+        return self.delete_many([key])[0]
+
+    def delete_many(self, keys: Iterable[bytes]) -> list[OperationReport]:
+        """Batched DELETE: one vectorized re-labeling for many keys.
+
+        Index removals and flag resets run per key in order; the freed
+        buckets' contents are then gathered once, re-labeled in a single
+        K-Means call (Algorithm 3, line 3, batched — deletes never change
+        bucket contents, so the labels match per-key prediction exactly),
+        and recycled into the pool in key order.  The result is
+        state-identical to calling :meth:`delete` once per key.
+
+        A missing key raises :class:`KeyNotFoundError` after the
+        already-deleted prefix is fully recycled — the state a sequential
+        loop leaves when it dies on that key.
+        """
+        normalized = [self._normalize(key) for key in keys]
+        done: list[tuple[bytes, int]] = []
+        error: KeyNotFoundError | None = None
+        for key in normalized:
+            try:
+                address = self.index.delete(key)
+            except KeyNotFoundError as exc:
+                error = exc
+                break
+            self._set_valid(address, False)
+            done.append((key, address))
+        reports = self._commit_deletes(done)
+        if error is not None:
+            raise error
+        return reports
+
+    def _commit_deletes(
+        self, done: list[tuple[bytes, int]]
+    ) -> list[OperationReport]:
+        """Re-label and recycle already-unindexed addresses, in order."""
+        if not done:
+            return []
+        m = len(done)
+        addresses = np.array([address for _, address in done], dtype=np.int64)
         predict_before = self.manager.predict_ns_total
-        cluster = self.manager.predict(old) if self.manager.is_trained else 0
-        predict_ns = self.manager.predict_ns_total - predict_before
-        if cluster >= self.pool.n_clusters:
-            cluster = 0
-        self.pool.release(address, cluster)
-
-        self._live_count -= 1
-        self.metrics.deletes += 1
-        op = OperationReport(
-            op="delete",
-            key=key,
-            address=address,
-            cluster=cluster,
-            fallback_used=False,
-            bit_updates=0,
-            words_touched=0,
-            lines_touched=0,
-            nvm_latency_ns=0.0,
-            predict_ns=float(predict_ns),
-            index_lines=0,
-            retrained=False,
-        )
-        self.metrics.record(op)
-        return op
+        if self.manager.is_trained:
+            clusters = self.manager.predict_many(self.nvm.peek_many(addresses))
+        else:
+            clusters = np.zeros(m, dtype=np.int64)
+        predict_ns = float(self.manager.predict_ns_total - predict_before) / m
+        reports: list[OperationReport] = []
+        for i, (key, address) in enumerate(done):
+            cluster = int(clusters[i])
+            if cluster >= self.pool.n_clusters:
+                cluster = 0
+            self.pool.release(address, cluster)
+            self._live_count -= 1
+            self.metrics.deletes += 1
+            op = OperationReport(
+                op="delete",
+                key=key,
+                address=address,
+                cluster=cluster,
+                fallback_used=False,
+                bit_updates=0,
+                words_touched=0,
+                lines_touched=0,
+                nvm_latency_ns=0.0,
+                predict_ns=predict_ns,
+                index_lines=0,
+                retrained=False,
+            )
+            self.metrics.record(op)
+            reports.append(op)
+        return reports
 
     def update(self, key: bytes, value: bytes | np.ndarray) -> OperationReport:
         """UPDATE (§V-B3): endurance (delete+put) or latency (in place)."""
@@ -365,6 +610,240 @@ class PNWStore:
         )
         self.metrics.record(op)
         return op
+
+    def update_many(
+        self, pairs: Iterable[tuple[bytes, bytes | np.ndarray]]
+    ) -> list[OperationReport]:
+        """Batched UPDATE, state-identical to :meth:`update` per pair.
+
+        Endurance mode replays the sequential interleaving — delete one,
+        steer one — but amortises every model call: the old contents are
+        re-labeled and the new payloads' cluster orders predicted in two
+        vectorized calls per chunk, and the steered writes are flushed
+        through the multi-row device path.  Latency mode batches the
+        in-place writes directly.  Chunks end at duplicate keys (a later
+        update of the same key must observe the earlier one) and, in
+        endurance mode, at retrain-check boundaries.
+
+        A missing key raises :class:`KeyNotFoundError` after the
+        already-updated prefix is fully applied, like a sequential loop.
+        Value sizes are validated up front (an oversized value anywhere
+        rejects the batch before any mutation).  A mid-batch
+        :class:`PoolExhaustedError` carries ``committed_reports`` like
+        :meth:`put_many`.  Returns the per-pair UPDATE reports in order.
+        """
+        items = [(self._normalize(key), value) for key, value in pairs]
+        self._validate_values([value for _, value in items])
+        endurance = self.config.update_mode == "endurance"
+        reports: list[OperationReport] = []
+        i, n = 0, len(items)
+        while i < n:
+            key, value = items[i]
+            if key not in self.index:
+                raise KeyNotFoundError(f"key {key!r} not found")
+            cap = (
+                self.config.retrain_check_interval - self._mutations_since_check
+                if endurance
+                else n
+            )
+            chunk: list[tuple[bytes, bytes | np.ndarray]] = [(key, value)]
+            taken = {key}
+            i += 1
+            missing_key: bytes | None = None
+            while i < n and len(chunk) < cap:
+                next_key, next_value = items[i]
+                if next_key in taken:
+                    break
+                if next_key not in self.index:
+                    missing_key = next_key
+                    i += 1
+                    break
+                chunk.append((next_key, next_value))
+                taken.add(next_key)
+                i += 1
+            if endurance:
+                reports.extend(
+                    self._batch_step(reports, self._update_chunk_endurance, chunk)
+                )
+            else:
+                reports.extend(self._update_chunk_latency(chunk))
+            if missing_key is not None:
+                raise KeyNotFoundError(f"key {missing_key!r} not found")
+        return reports
+
+    def _update_chunk_latency(
+        self, chunk: list[tuple[bytes, bytes | np.ndarray]]
+    ) -> list[OperationReport]:
+        """In-place batch update: one multi-row write, no steering."""
+        keys = [key for key, _ in chunk]
+        payloads = self._encode_pairs(keys, [value for _, value in chunk])
+        self.metrics.updates += len(chunk)
+        addresses = np.array([self.index.get(key) for key in keys], dtype=np.int64)
+        write_reports = self.nvm.write_many(addresses, payloads)
+        reports: list[OperationReport] = []
+        for i, write_report in enumerate(write_reports):
+            op = OperationReport(
+                op="update",
+                key=keys[i],
+                address=int(addresses[i]),
+                cluster=-1,
+                fallback_used=False,
+                bit_updates=write_report.bit_updates,
+                words_touched=write_report.words_touched,
+                lines_touched=write_report.lines_touched,
+                nvm_latency_ns=write_report.latency_ns,
+                predict_ns=0.0,
+                index_lines=0,
+                retrained=False,
+            )
+            self.metrics.record(op)
+            reports.append(op)
+        return reports
+
+    def _update_chunk_endurance(
+        self, chunk: list[tuple[bytes, bytes | np.ndarray]]
+    ) -> list[OperationReport]:
+        """Delete-plus-steered-PUT over a chunk of distinct, present keys.
+
+        The per-key loop preserves the sequential order of every
+        pool-visible event (release before the same key's pop, pops in
+        key order), while predictions are batched up front — valid for
+        the whole chunk because the model cannot retrain before the
+        chunk's last operation, and bucket contents relevant to any probe
+        are untouched until the deferred multi-row flush.
+        """
+        m = len(chunk)
+        keys = [key for key, _ in chunk]
+        payloads = self._encode_pairs(keys, [value for _, value in chunk])
+        # Unaccounted gather of the soon-to-be-freed contents; the
+        # accounted index/NVM traffic happens per-op below, exactly as in
+        # sequential updates.
+        old_addresses = np.array([self.index.peek(key) for key in keys],
+                                 dtype=np.int64)
+        predict_before = self.manager.predict_ns_total
+        if self.manager.is_trained:
+            delete_clusters = self.manager.predict_many(
+                self.nvm.peek_many(old_addresses)
+            )
+            orders = self.manager.fallback_order_many(payloads)
+            put_clusters = np.ascontiguousarray(orders[:, 0], dtype=np.int64)
+        else:
+            delete_clusters = np.zeros(m, dtype=np.int64)
+            orders = None
+            put_clusters = np.zeros(m, dtype=np.int64)
+        predict_ns = (
+            float(self.manager.predict_ns_total - predict_before) / (2 * m)
+        )
+
+        new_addresses = np.empty(m, dtype=np.int64)
+        fallbacks = np.zeros(m, dtype=bool)
+        delete_reports: list[OperationReport] = []
+        committed = 0
+        try:
+            for i in range(m):
+                self.metrics.updates += 1
+                address = int(self.index.delete(keys[i]))
+                self._set_valid(address, False)
+                cluster = int(delete_clusters[i])
+                if cluster >= self.pool.n_clusters:
+                    cluster = 0
+                self.pool.release(address, cluster)
+                self._live_count -= 1
+                self.metrics.deletes += 1
+                delete_reports.append(
+                    OperationReport(
+                        op="delete",
+                        key=keys[i],
+                        address=address,
+                        cluster=cluster,
+                        fallback_used=False,
+                        bit_updates=0,
+                        words_touched=0,
+                        lines_touched=0,
+                        nvm_latency_ns=0.0,
+                        predict_ns=predict_ns,
+                        index_lines=0,
+                        retrained=False,
+                    )
+                )
+                # Replay the PUT-side membership check of the sequential
+                # path (update -> put -> "key in index", always False
+                # here): on an NVM index that lookup is accounted read
+                # traffic, and skipping it would make batched and
+                # sequential runs report different index wear.
+                _ = keys[i] in self.index
+                fallbacks[i] = self.pool.cluster_size(int(put_clusters[i])) == 0
+                new_addresses[i] = self.pool.get_best(
+                    int(put_clusters[i]),
+                    lambda addrs, i=i: self.nvm.hamming_many(addrs, payloads[i]),
+                    self.config.probe_limit,
+                    None if orders is None else orders[i],
+                )
+                committed += 1
+        except PoolExhaustedError as exc:
+            exc.chunk_reports = self._commit_update_chunk(
+                keys, payloads, new_addresses, fallbacks, put_clusters,
+                predict_ns, delete_reports, committed,
+            )
+            raise
+        return self._commit_update_chunk(
+            keys, payloads, new_addresses, fallbacks, put_clusters,
+            predict_ns, delete_reports, m,
+        )
+
+    def _commit_update_chunk(
+        self,
+        keys: list[bytes],
+        payloads: np.ndarray,
+        new_addresses: np.ndarray,
+        fallbacks: np.ndarray,
+        put_clusters: np.ndarray,
+        predict_ns: float,
+        delete_reports: list[OperationReport],
+        committed: int,
+    ) -> list[OperationReport]:
+        """Flush the placed prefix of an endurance-update chunk.
+
+        Mirrors :meth:`_commit_puts` but interleaves each key's delete
+        report before its put report, matching the sequential record
+        order; a trailing delete whose steered PUT found the pool empty
+        is still recorded (its delete *did* happen) before the error
+        escapes.
+        """
+        self.metrics.fallbacks += int(np.count_nonzero(fallbacks[:committed]))
+        write_reports = self.nvm.write_many(
+            new_addresses[:committed], payloads[:committed]
+        )
+        if committed:
+            self._set_valid_many(new_addresses[:committed], True)
+        reports: list[OperationReport] = []
+        for i in range(committed):
+            self.metrics.record(delete_reports[i])
+            index_lines_before = self._index_lines_snapshot()
+            self.index.put(keys[i], int(new_addresses[i]))
+            index_lines = self._index_lines_snapshot() - index_lines_before
+            self._live_count += 1
+            self.metrics.puts += 1
+            retrained = self._maybe_retrain()
+            op = OperationReport(
+                op="put",
+                key=keys[i],
+                address=int(new_addresses[i]),
+                cluster=int(put_clusters[i]),
+                fallback_used=bool(fallbacks[i]),
+                bit_updates=write_reports[i].bit_updates,
+                words_touched=write_reports[i].words_touched,
+                lines_touched=write_reports[i].lines_touched,
+                nvm_latency_ns=write_reports[i].latency_ns,
+                predict_ns=predict_ns,
+                index_lines=index_lines,
+                retrained=retrained,
+            )
+            self.metrics.record(op)
+            reports.append(op)
+        if len(delete_reports) > committed:
+            self.metrics.record(delete_reports[committed])
+        return reports
 
     # ------------------------------------------------------------------ #
     # recovery                                                            #
@@ -433,7 +912,11 @@ class PNWStore:
         return self._live_count / self.config.num_buckets
 
     def put_unique(self, key: bytes, value: bytes | np.ndarray) -> OperationReport:
-        """PUT that refuses to overwrite (for insert-only workloads)."""
-        if self._normalize(key) in self.index:
-            raise DuplicateKeyError(f"key {key!r} already exists")
-        return self.put(key, value)
+        """PUT that refuses to overwrite (for insert-only workloads).
+
+        Shares :meth:`put_many`'s ``unique`` path, so the single and
+        batched insert-only paths raise the same
+        :class:`DuplicateKeyError` on the same (normalized) key, and a
+        rejected insert never mutates the store.
+        """
+        return self.put_many([(key, value)], unique=True)[0]

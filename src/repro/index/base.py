@@ -46,6 +46,16 @@ class KeyIndex(ABC):
     def delete(self, key: bytes) -> int:
         """Remove ``key`` and return its address; raise if absent."""
 
+    def peek(self, key: bytes) -> int:
+        """Address of ``key`` without traffic accounting.
+
+        Batch pipelines gather addresses up front with this so the
+        *accounted* index traffic stays exactly one lookup per operation.
+        The default falls back to :meth:`get` (accounted) so third-party
+        indexes stay correct; both built-in indexes override it.
+        """
+        return self.get(key)
+
     @abstractmethod
     def __contains__(self, key: bytes) -> bool: ...
 

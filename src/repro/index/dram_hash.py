@@ -42,6 +42,13 @@ class DRAMHashIndex(KeyIndex):
         except KeyError:
             raise KeyNotFoundError(f"key {key!r} not found") from None
 
+    def peek(self, key: bytes) -> int:
+        key = self.normalize_key(key, self.key_bytes)
+        try:
+            return self._map[key]
+        except KeyError:
+            raise KeyNotFoundError(f"key {key!r} not found") from None
+
     def delete(self, key: bytes) -> int:
         key = self.normalize_key(key, self.key_bytes)
         self.dram.write(self._entry_bytes())

@@ -179,6 +179,15 @@ class PathHashingIndex(KeyIndex):
         _, _, address = self._decode(self.nvm.read(slot_id))
         return address
 
+    def peek(self, key: bytes) -> int:
+        key = self.normalize_key(key, self.key_bytes)
+        for path in self._paths(key):
+            for slot_id in path:
+                flag, slot_key, address = self._decode(self.nvm.peek(slot_id))
+                if flag == _FLAG_LIVE and slot_key == key:
+                    return address
+        raise KeyNotFoundError(f"key {key!r} not found")
+
     def delete(self, key: bytes) -> int:
         key = self.normalize_key(key, self.key_bytes)
         slot_id = self._locate(key)

@@ -155,11 +155,22 @@ class KMeans:
         labels, _, _, _ = assign_dense(X, centers)
         return labels
 
+    def centroid_distances(self, X: np.ndarray) -> np.ndarray:
+        """Squared L2 distance of each row of ``X`` to every centroid.
+
+        Returns an ``(n_samples, n_clusters)`` matrix.  This is the shared
+        kernel of the single-item and batched prediction paths, so both
+        produce bit-identical distances for the same row.
+        """
+        centers = self._require_fitted()
+        X = np.atleast_2d(np.ascontiguousarray(X, dtype=np.float64))
+        diff = X[:, None, :] - centers[None, :, :]
+        return np.einsum("ijk,ijk->ij", diff, diff)
+
     def predict_one(self, x: np.ndarray) -> int:
         """Fast path for a single sample (the store's PUT hot path)."""
-        centers = self._require_fitted()
-        diff = centers - np.asarray(x, dtype=np.float64)[None, :]
-        return int(np.argmin(np.einsum("ij,ij->i", diff, diff)))
+        x = np.asarray(x, dtype=np.float64)
+        return int(np.argmin(self.centroid_distances(x[None, :])[0]))
 
     def fit_predict(self, X: np.ndarray) -> np.ndarray:
         """Fit and return the training labels."""
@@ -178,9 +189,18 @@ class KMeans:
         Used by the dynamic address pool's fallback when the nearest
         cluster has no free address left (paper §V-C).
         """
-        centers = self._require_fitted()
-        diff = centers - np.asarray(x, dtype=np.float64)[None, :]
-        return np.argsort(np.einsum("ij,ij->i", diff, diff), kind="stable")
+        x = np.asarray(x, dtype=np.float64)
+        return self.centroid_order_by_distance_many(x[None, :])[0]
+
+    def centroid_order_by_distance_many(self, X: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`centroid_order_by_distance` for a batch.
+
+        One ``(n_samples, n_clusters)`` distance computation serves every
+        row, which is what lets the batch PUT pipeline amortise the model
+        cost over the whole batch.  ``result[i, 0]`` is row ``i``'s
+        predicted cluster.
+        """
+        return np.argsort(self.centroid_distances(X), axis=1, kind="stable")
 
 
 class MiniBatchKMeans:

@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
-from .._bitops import POPCOUNT_TABLE
+from .._bitops import POPCOUNT_TABLE, popcount_rows
 from ..errors import CapacityError
 from .latency import LatencyModel
 from .stats import WearStats
@@ -193,6 +193,17 @@ class SimulatedNVM:
         self._check_address(address)
         return self._data[address].copy()
 
+    def peek_many(self, addresses: np.ndarray) -> np.ndarray:
+        """Gather many buckets' contents without accounting (batch paths)."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if addresses.size and not (
+            0 <= int(addresses.min()) and int(addresses.max()) < self.num_buckets
+        ):
+            raise CapacityError(
+                f"addresses out of range [0, {self.num_buckets})"
+            )
+        return self._data[addresses].copy()
+
     def hamming_many(self, addresses: np.ndarray, payload: np.ndarray) -> np.ndarray:
         """Hamming distance of ``payload`` to each addressed bucket.
 
@@ -202,8 +213,9 @@ class SimulatedNVM:
         """
         addresses = np.asarray(addresses, dtype=np.int64)
         payload = self._validate_payload(payload)
-        xor = np.bitwise_xor(self._data[addresses], payload[None, :])
-        return POPCOUNT_TABLE[xor].sum(axis=1).astype(np.int64)
+        return popcount_rows(
+            np.bitwise_xor(self._data[addresses], payload[None, :])
+        )
 
     def write(
         self,
@@ -255,6 +267,83 @@ class SimulatedNVM:
         else:
             self._aux.pop(address, None)
         return report
+
+    def write_many(
+        self,
+        addresses: np.ndarray,
+        rows: np.ndarray,
+        scheme: "WriteScheme | None" = None,
+    ) -> list[WriteReport]:
+        """Vectorized multi-row :meth:`write` — row ``i`` to ``addresses[i]``.
+
+        The native data-comparison path computes every row's update mask,
+        programmed-cell count, and word/line footprint in single array
+        operations, then accounts them in row order, leaving device state
+        and wear counters byte-identical to ``n`` sequential writes.
+        Scheme writes (per-row auxiliary state) and batches that hit the
+        same address twice (later rows must see earlier rows' data) fall
+        back to the per-row path.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64).ravel()
+        rows = np.ascontiguousarray(np.atleast_2d(rows), dtype=np.uint8)
+        n = addresses.size
+        if rows.shape != (n, self.bucket_bytes):
+            raise ValueError(
+                f"rows shape {rows.shape} does not match ({n}, {self.bucket_bytes})"
+            )
+        if n == 0:
+            return []
+        if not (0 <= int(addresses.min()) and int(addresses.max()) < self.num_buckets):
+            raise CapacityError(
+                f"addresses out of range [0, {self.num_buckets})"
+            )
+        if scheme is not None or np.unique(addresses).size != n:
+            return [
+                self.write(int(address), row, scheme)
+                for address, row in zip(addresses, rows)
+            ]
+
+        old = self._data[addresses]
+        masks = np.bitwise_xor(old, rows)
+        bit_updates = popcount_rows(masks)
+        dirty_bytes = masks != 0
+        words_touched = (
+            dirty_bytes.reshape(n, self.words_per_bucket, self.word_bytes)
+            .any(axis=2)
+            .sum(axis=1, dtype=np.int64)
+        )
+        pad = self.lines_per_bucket * self.cacheline_bytes - self.bucket_bytes
+        if pad:
+            padded = np.zeros((n, self.bucket_bytes + pad), dtype=bool)
+            padded[:, : self.bucket_bytes] = dirty_bytes
+            line_view = padded.reshape(n, self.lines_per_bucket, self.cacheline_bytes)
+        else:
+            line_view = dirty_bytes.reshape(
+                n, self.lines_per_bucket, self.cacheline_bytes
+            )
+        lines_touched = line_view.any(axis=2).sum(axis=1, dtype=np.int64)
+        latencies_ns = [self.latency.write_ns(int(lines)) for lines in lines_touched]
+        updated_bits = (
+            np.unpackbits(masks, axis=1) if self.stats.bit_wear is not None else None
+        )
+        self.stats.record_write_many(
+            addresses, bit_updates, words_touched, lines_touched,
+            latencies_ns, updated_bits,
+        )
+        self._data[addresses] = rows
+        for address in addresses:
+            self._aux.pop(int(address), None)
+        return [
+            WriteReport(
+                address=int(addresses[i]),
+                bit_updates=int(bit_updates[i]),
+                aux_bit_updates=0,
+                words_touched=int(words_touched[i]),
+                lines_touched=int(lines_touched[i]),
+                latency_ns=latencies_ns[i],
+            )
+            for i in range(n)
+        ]
 
     def _apply(
         self,

@@ -102,6 +102,40 @@ class WearStats:
                 )
             self.bit_wear[address] += updated_bits.astype(np.uint32)
 
+    def record_write_many(
+        self,
+        addresses: np.ndarray,
+        bit_updates: np.ndarray,
+        words_touched: np.ndarray,
+        lines_touched: np.ndarray,
+        latencies_ns: list[float],
+        updated_bits: np.ndarray | None = None,
+        aux_bit_updates: np.ndarray | None = None,
+    ) -> None:
+        """Account one multi-row write, row ``i`` against ``addresses[i]``.
+
+        Produces exactly the state :meth:`record_write` would after the
+        same rows one at a time: integer counters are order-free, and the
+        latency total is accumulated in row order so even the float sum is
+        bit-identical to the sequential path.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        self.total_writes += int(addresses.size)
+        np.add.at(self.writes_per_address, addresses, 1)
+        self.total_bit_updates += int(np.sum(bit_updates))
+        if aux_bit_updates is not None:
+            self.total_aux_bit_updates += int(np.sum(aux_bit_updates))
+        self.total_words_touched += int(np.sum(words_touched))
+        self.total_lines_touched += int(np.sum(lines_touched))
+        for latency_ns in latencies_ns:
+            self.total_write_latency_ns += latency_ns
+        if self.bit_wear is not None:
+            if updated_bits is None:
+                raise ValueError(
+                    "bit-level wear tracking is enabled but no bit mask was given"
+                )
+            np.add.at(self.bit_wear, addresses, updated_bits.astype(np.uint32))
+
     def record_read(self, latency_ns: float) -> None:
         """Account one read operation."""
         self.total_reads += 1

@@ -42,6 +42,26 @@ class Workload(ABC):
     def generate(self, n: int) -> np.ndarray:
         """Produce the next ``n`` items as an ``(n, item_bytes)`` array."""
 
+    def batches(self, n: int, batch_size: int):
+        """Yield the next ``n`` items in ``(<= batch_size, item_bytes)``
+        chunks — the feed shape of the store's batch write pipeline.
+
+        Chunks continue the workload's single stream (each call to
+        :meth:`generate` picks up where the last left off) and are fully
+        deterministic for a given seed and chunking.  Generators may
+        consume randomness in ``n``-dependent ways, so a chunked stream
+        is not promised to be item-identical to one ``generate(n)`` call
+        — drivers comparing batched against sequential feeding should
+        materialise the items once and group them, as the benchmark does.
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        remaining = n
+        while remaining > 0:
+            take = min(batch_size, remaining)
+            yield self.generate(take)
+            remaining -= take
+
     def split_old_new(self, n_old: int, n_new: int) -> tuple[np.ndarray, np.ndarray]:
         """Generate a warm-up batch and a measurement batch in one stream.
 

@@ -133,6 +133,29 @@ class TestPNWStream:
         _, store = run_pnw_stream(old, new, 2, seed=0, live_window=10)
         assert len(store) == 10
 
+    def test_batched_stream_covers_every_item(self):
+        w = AmazonAccessWorkload(item_bytes=56, seed=0)
+        old, new = w.split_old_new(64, 100)
+        metrics, store = run_pnw_stream(
+            old, new, 2, seed=0, live_window=10, batch_size=16
+        )
+        assert metrics.items == 100
+        assert store.metrics.puts == 100
+        assert len(store) == 10  # eviction still enforces the window
+
+    def test_batch_size_one_matches_classic_schedule(self):
+        """batch_size=1 must reproduce the original one-PUT-one-eviction
+        stream bit for bit (the figure benchmarks rely on it)."""
+        w = AmazonAccessWorkload(item_bytes=56, seed=0)
+        old, new = w.split_old_new(64, 100)
+        classic, store_a = run_pnw_stream(old, new, 2, seed=0, live_window=10)
+        explicit, store_b = run_pnw_stream(
+            old, new, 2, seed=0, live_window=10, batch_size=1
+        )
+        assert classic.bit_updates == explicit.bit_updates
+        assert classic.lines_touched == explicit.lines_touched
+        assert np.array_equal(store_a.nvm.snapshot(), store_b.nvm.snapshot())
+
     def test_probe_zero_weaker_than_probing(self):
         w = AmazonAccessWorkload(item_bytes=56, seed=0)
         old, new = w.split_old_new(128, 256)

@@ -138,6 +138,109 @@ class TestGetBest:
             pool.get_best(0, lambda a: np.zeros(len(a)), probe_limit=4)
 
 
+class TestGetBestMany:
+    """Bulk pop must match single pops exactly: same cluster-similarity
+    ordering, same exhaustion fallback, same recycling behavior."""
+
+    @staticmethod
+    def twin_pools() -> tuple[DynamicAddressPool, DynamicAddressPool]:
+        pools = []
+        for _ in range(2):
+            pool = DynamicAddressPool(n_clusters=3, num_addresses=12)
+            pool.rebuild(
+                np.array([0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]), np.arange(12)
+            )
+            pools.append(pool)
+        return pools[0], pools[1]
+
+    def test_matches_repeated_single_pops(self):
+        single, bulk = self.twin_pools()
+        rng = np.random.default_rng(0)
+        clusters = rng.integers(0, 3, size=10)
+        orders = np.array([rng.permutation(3) for _ in range(10)])
+        scores = rng.random((10, 12))
+
+        expected = [
+            single.get_best(
+                int(clusters[i]), lambda a, i=i: scores[i][a],
+                probe_limit=4, fallback_order=orders[i],
+            )
+            for i in range(10)
+        ]
+        got, _ = bulk.get_best_many(
+            clusters, lambda i, a: scores[i][a], 4, orders
+        )
+        assert expected == got.tolist()
+        assert single._free_lists == bulk._free_lists
+        assert np.array_equal(single._available, bulk._available)
+
+    def test_fallback_follows_cluster_similarity_order(self):
+        _, pool = self.twin_pools()
+        for _ in range(4):
+            pool.get(2)  # drain cluster 2
+        addresses, fallback_used = pool.get_best_many(
+            np.array([2, 2]),
+            lambda i, addrs: np.zeros(len(addrs)),
+            probe_limit=8,
+            fallback_orders=np.array([[2, 0, 1], [2, 1, 0]]),
+        )
+        assert 0 <= addresses[0] <= 3  # first fallback: cluster 0
+        assert 4 <= addresses[1] <= 7  # second request preferred cluster 1
+        assert fallback_used.all()
+
+    def test_fallback_flag_false_when_cluster_serves(self):
+        _, pool = self.twin_pools()
+        _, fallback_used = pool.get_best_many(
+            np.array([0, 1]), lambda i, a: np.zeros(len(a)), 4
+        )
+        assert not fallback_used.any()
+
+    def test_exhaustion_keeps_prefix_popped(self):
+        pool = DynamicAddressPool(2, 3)
+        pool.rebuild(np.array([0, 0, 1]), np.arange(3))
+        with pytest.raises(PoolExhaustedError) as excinfo:
+            pool.get_best_many(
+                np.zeros(5, dtype=np.int64),
+                lambda i, a: np.zeros(len(a)),
+                probe_limit=4,
+            )
+        assert excinfo.value.partial_addresses.tolist() == [0, 1, 2]
+        assert excinfo.value.partial_fallbacks.tolist() == [False, False, True]
+        assert pool.total_free == 0  # the served prefix stays popped
+
+    def test_recycled_addresses_serve_later_requests(self):
+        single, bulk = self.twin_pools()
+        for pool in (single, bulk):
+            for _ in range(4):
+                pool.get(0)
+            pool.release(2, 0)  # one address comes back to cluster 0
+        expected = single.get_best(
+            0, lambda a: np.zeros(len(a)), probe_limit=4
+        )
+        got, fallback_used = bulk.get_best_many(
+            np.array([0]), lambda i, a: np.zeros(len(a)), 4
+        )
+        assert expected == got[0] == 2
+        assert not fallback_used[0]
+        assert single._free_lists == bulk._free_lists
+
+    def test_probe_limit_zero_degrades_to_fifo(self):
+        single, bulk = self.twin_pools()
+        expected = [single.get_best(1, lambda a: -a, 0) for _ in range(3)]
+        got, _ = bulk.get_best_many(
+            np.array([1, 1, 1]), lambda i, a: -a, 0
+        )
+        assert expected == got.tolist()
+
+    def test_empty_request(self):
+        _, pool = self.twin_pools()
+        addresses, fallback_used = pool.get_best_many(
+            np.array([], dtype=np.int64), lambda i, a: a, 4
+        )
+        assert addresses.size == 0 and fallback_used.size == 0
+        assert pool.total_free == 12
+
+
 class TestInvariantsProperty:
     @given(st.lists(st.sampled_from(["get", "release"]), max_size=60))
     @settings(max_examples=30, deadline=None)

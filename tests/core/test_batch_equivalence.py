@@ -1,0 +1,475 @@
+"""Batch pipeline equivalence: put_many/update_many/delete_many must leave
+the store byte-identical to the same operations applied sequentially.
+
+Every test builds two identically seeded, identically warmed stores,
+drives one through the single-op API and the other through the batch API,
+and asserts full state equality: NVM data zone, validity bitmap contents,
+hash-index contents, data-zone wear counters (per-address, per-bit, and
+every aggregate including the float latency totals, which the batch path
+accumulates in the same order), pool free-list order, live count, and the
+operation counters.
+
+The one deliberate difference is the *flag region's* write count: the
+batch pipeline coalesces validity-bit updates per 4-byte flag word (the
+bitmap bytes still end up identical), so flag-region wear is asserted to
+be <= the sequential path's rather than equal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PNWConfig, PNWStore
+from repro.errors import DuplicateKeyError, KeyNotFoundError, PoolExhaustedError
+from tests.conftest import clustered_values
+
+
+def make_config(**overrides) -> PNWConfig:
+    base = dict(
+        num_buckets=256,
+        value_bytes=24,
+        key_bytes=8,
+        n_clusters=4,
+        seed=7,
+        n_init=1,
+        max_iter=20,
+    )
+    base.update(overrides)
+    return PNWConfig(**base)
+
+
+def make_store_pair(**overrides) -> tuple[PNWStore, PNWStore]:
+    """Two independent stores with identical config, warm-up, and model."""
+    stores = []
+    for _ in range(2):
+        config = make_config(**overrides)
+        rng = np.random.default_rng(42)
+        old = clustered_values(rng, config.num_buckets, config.value_bytes)
+        store = PNWStore(config)
+        store.warm_up(old)
+        stores.append(store)
+    return stores[0], stores[1]
+
+
+def assert_stores_equal(sequential: PNWStore, batched: PNWStore) -> None:
+    """Full state equality (see module docstring for the flag-wear rule)."""
+    assert np.array_equal(sequential.nvm.snapshot(), batched.nvm.snapshot())
+    assert np.array_equal(
+        sequential.flags_nvm.snapshot(), batched.flags_nvm.snapshot()
+    )
+    if hasattr(sequential.index, "items"):
+        assert dict(sequential.index.items()) == dict(batched.index.items())
+    else:  # NVM path-hashing index: compare the persisted slots directly
+        assert np.array_equal(
+            sequential.index.nvm.snapshot(), batched.index.nvm.snapshot()
+        )
+    assert np.array_equal(
+        sequential.nvm.stats.writes_per_address,
+        batched.nvm.stats.writes_per_address,
+    )
+    assert sequential.nvm.stats.summary() == batched.nvm.stats.summary()
+    if sequential.nvm.stats.bit_wear is not None:
+        assert np.array_equal(
+            sequential.nvm.stats.bit_wear, batched.nvm.stats.bit_wear
+        )
+    assert sequential.pool._free_lists == batched.pool._free_lists
+    assert np.array_equal(
+        sequential.pool._available, batched.pool._available
+    )
+    assert len(sequential) == len(batched)
+    for counter in ("puts", "gets", "deletes", "updates", "retrains",
+                    "fallbacks"):
+        assert getattr(sequential.metrics, counter) == getattr(
+            batched.metrics, counter
+        ), counter
+    assert (
+        sequential.manager.model_version == batched.manager.model_version
+    )
+    if sequential.manager.model is not None:
+        assert np.array_equal(
+            sequential.manager.model.cluster_centers_,
+            batched.manager.model.cluster_centers_,
+        )
+    # Coalesced flag-word programming may only ever *reduce* flag wear.
+    assert (
+        batched.flags_nvm.stats.total_writes
+        <= sequential.flags_nvm.stats.total_writes
+    )
+
+
+def fresh_pairs(rng: np.random.Generator, n: int, width: int,
+                prefix: str = "k") -> list[tuple[bytes, bytes]]:
+    values = clustered_values(rng, n, width, flip_rate=0.05)
+    return [
+        (f"{prefix}{i}".encode(), values[i].tobytes()) for i in range(n)
+    ]
+
+
+class TestPutEquivalence:
+    def test_put_many_matches_sequential(self):
+        sequential, batched = make_store_pair()
+        pairs = fresh_pairs(np.random.default_rng(1), 120, 24)
+        seq_reports = [sequential.put(k, v) for k, v in pairs]
+        bat_reports = batched.put_many(pairs)
+        assert_stores_equal(sequential, batched)
+        assert [r.address for r in seq_reports] == [
+            r.address for r in bat_reports
+        ]
+        assert [r.cluster for r in seq_reports] == [
+            r.cluster for r in bat_reports
+        ]
+        assert [r.bit_updates for r in seq_reports] == [
+            r.bit_updates for r in bat_reports
+        ]
+
+    def test_put_many_with_bit_wear_tracking(self):
+        sequential, batched = make_store_pair(track_bit_wear=True)
+        pairs = fresh_pairs(np.random.default_rng(2), 80, 24)
+        for key, value in pairs:
+            sequential.put(key, value)
+        batched.put_many(pairs)
+        assert_stores_equal(sequential, batched)
+
+    def test_put_many_across_retrains(self):
+        """Retrains fire mid-batch exactly where the sequential loop
+        retrains, on identical zone contents."""
+        sequential, batched = make_store_pair(
+            load_factor=0.3, retrain_check_interval=16
+        )
+        pairs = fresh_pairs(np.random.default_rng(3), 150, 24)
+        for key, value in pairs:
+            sequential.put(key, value)
+        batched.put_many(pairs)
+        assert sequential.metrics.retrains > 1
+        assert_stores_equal(sequential, batched)
+
+    def test_put_many_on_cold_store_trains_mid_batch(self):
+        config = dict(
+            auto_train_fraction=0.1, retrain_check_interval=8,
+            load_factor=1.0,
+        )
+        sequential = PNWStore(make_config(**config))
+        batched = PNWStore(make_config(**config))
+        pairs = fresh_pairs(np.random.default_rng(4), 100, 24)
+        for key, value in pairs:
+            sequential.put(key, value)
+        batched.put_many(pairs)
+        assert batched.manager.is_trained
+        assert_stores_equal(sequential, batched)
+
+    def test_duplicate_keys_in_batch_route_through_update(self):
+        sequential, batched = make_store_pair()
+        rng = np.random.default_rng(5)
+        pairs = fresh_pairs(rng, 40, 24) + fresh_pairs(rng, 40, 24)
+        for key, value in pairs:
+            sequential.put(key, value)
+        batched.put_many(pairs)
+        assert batched.metrics.updates == 40
+        assert_stores_equal(sequential, batched)
+
+    def test_put_many_nvm_index(self):
+        sequential, batched = make_store_pair(index_placement="nvm")
+        pairs = fresh_pairs(np.random.default_rng(6), 60, 24)
+        for key, value in pairs:
+            sequential.put(key, value)
+        batched.put_many(pairs)
+        assert_stores_equal(sequential, batched)
+        # Index-device wear must match exactly: one accounted lookup and
+        # insert per operation on both paths.
+        assert (
+            sequential.index.nvm.stats.summary()
+            == batched.index.nvm.stats.summary()
+        )
+
+    def test_empty_batch(self):
+        _, batched = make_store_pair()
+        assert batched.put_many([]) == []
+        assert batched.delete_many([]) == []
+        assert batched.update_many([]) == []
+
+    @pytest.mark.parametrize("method", ["put_many", "update_many"])
+    def test_oversized_value_rejects_whole_batch_unmutated(self, method):
+        """Validation covers the whole batch, including items past the
+        first chunk boundary (regression: chunk-local validation used to
+        commit earlier chunks before rejecting)."""
+        _, store = make_store_pair()
+        store.put(b"a", b"x")
+        before = store.nvm.snapshot()
+        puts_before = store.metrics.puts
+        huge = bytes(store.config.value_bytes + 1)
+        # "a" twice forces a chunk break before the bad value is reached.
+        batch = [(b"a", b"y"), (b"a", b"z"), (b"fresh", huge)]
+        with pytest.raises(ValueError, match="exceeds"):
+            getattr(store, method)(batch)
+        assert np.array_equal(store.nvm.snapshot(), before)
+        assert store.metrics.puts == puts_before
+        assert store.get(b"a").startswith(b"x")
+        assert b"fresh" not in store
+
+    def test_pool_exhaustion_commits_prefix(self):
+        """Both paths die on the same key and leave the same state."""
+        seq_cfg = make_config(num_buckets=16, n_clusters=2)
+        sequential, batched = PNWStore(seq_cfg), PNWStore(make_config(
+            num_buckets=16, n_clusters=2))
+        rng = np.random.default_rng(7)
+        old = clustered_values(rng, 16, 24)
+        sequential.warm_up(old)
+        batched.warm_up(old)
+        pairs = fresh_pairs(np.random.default_rng(8), 20, 24)
+        seq_done = 0
+        with pytest.raises(PoolExhaustedError):
+            for key, value in pairs:
+                sequential.put(key, value)
+                seq_done += 1
+        with pytest.raises(PoolExhaustedError) as excinfo:
+            batched.put_many(pairs)
+        assert seq_done == 16
+        assert_stores_equal(sequential, batched)
+        # The escaping error names exactly the pairs that landed, so a
+        # caller can retry the remainder without re-putting.
+        committed = excinfo.value.committed_reports
+        assert [r.key for r in committed] == [
+            key.ljust(8, b"\x00") for key, _ in pairs[:16]
+        ]
+
+    def test_exhaustion_committed_reports_span_chunks(self):
+        """committed_reports covers earlier chunks, not just the failing
+        one (regression: the chunk-local partial_addresses alone would
+        hide fully committed chunks)."""
+        _, store = make_store_pair(
+            num_buckets=32, n_clusters=2, retrain_check_interval=8,
+            load_factor=1.0,
+        )
+        pairs = fresh_pairs(np.random.default_rng(20), 40, 24)
+        with pytest.raises(PoolExhaustedError) as excinfo:
+            store.put_many(pairs)
+        committed = excinfo.value.committed_reports
+        assert len(committed) == 32  # 8-op chunks: 4 full chunks landed
+        assert len(store) == 32
+        for report in committed:
+            assert report.key.rstrip(b"\x00").decode().startswith("k")
+
+
+class TestDeleteEquivalence:
+    def test_delete_many_matches_sequential(self):
+        sequential, batched = make_store_pair()
+        pairs = fresh_pairs(np.random.default_rng(9), 100, 24)
+        for store in (sequential, batched):
+            store.put_many(pairs)
+        doomed = [key for key, _ in pairs[10:70]]
+        for key in doomed:
+            sequential.delete(key)
+        batched.delete_many(doomed)
+        assert_stores_equal(sequential, batched)
+
+    def test_missing_key_raises_after_prefix(self):
+        sequential, batched = make_store_pair()
+        pairs = fresh_pairs(np.random.default_rng(10), 10, 24)
+        for store in (sequential, batched):
+            store.put_many(pairs)
+        keys = [pairs[0][0], pairs[1][0], b"ghost", pairs[2][0]]
+        with pytest.raises(KeyNotFoundError):
+            for key in keys:
+                sequential.delete(key)
+        with pytest.raises(KeyNotFoundError):
+            batched.delete_many(keys)
+        assert b"ghost" not in batched
+        assert pairs[2][0].ljust(8, b"\x00") in batched.index
+        assert_stores_equal(sequential, batched)
+
+
+class TestUpdateEquivalence:
+    @pytest.mark.parametrize("update_mode", ["endurance", "latency"])
+    def test_update_many_matches_sequential(self, update_mode):
+        sequential, batched = make_store_pair(update_mode=update_mode)
+        rng = np.random.default_rng(11)
+        pairs = fresh_pairs(rng, 80, 24)
+        for store in (sequential, batched):
+            store.put_many(pairs)
+        new_values = clustered_values(rng, 80, 24, flip_rate=0.1)
+        updates = [
+            (pairs[i][0], new_values[i].tobytes()) for i in range(80)
+        ]
+        for key, value in updates:
+            sequential.update(key, value)
+        batched.update_many(updates)
+        assert_stores_equal(sequential, batched)
+
+    def test_update_many_across_retrains(self):
+        sequential, batched = make_store_pair(
+            load_factor=0.2, retrain_check_interval=16
+        )
+        rng = np.random.default_rng(12)
+        pairs = fresh_pairs(rng, 120, 24)
+        for store in (sequential, batched):
+            store.put_many(pairs)
+        new_values = clustered_values(rng, 120, 24, flip_rate=0.1)
+        updates = [
+            (pairs[i][0], new_values[i].tobytes()) for i in range(120)
+        ]
+        for key, value in updates:
+            sequential.update(key, value)
+        batched.update_many(updates)
+        assert sequential.metrics.retrains > 1
+        assert_stores_equal(sequential, batched)
+
+    def test_update_many_nvm_index_accounting(self):
+        """Endurance updates on the persistent index must report the
+        same index-region traffic on both paths (regression: the batch
+        path used to skip the PUT-side membership lookup)."""
+        sequential, batched = make_store_pair(index_placement="nvm")
+        rng = np.random.default_rng(15)
+        pairs = fresh_pairs(rng, 30, 24)
+        for store in (sequential, batched):
+            store.put_many(pairs)
+        new_values = clustered_values(rng, 30, 24, flip_rate=0.1)
+        updates = [
+            (pairs[i][0], new_values[i].tobytes()) for i in range(30)
+        ]
+        for key, value in updates:
+            sequential.update(key, value)
+        batched.update_many(updates)
+        assert_stores_equal(sequential, batched)
+        assert (
+            sequential.index.nvm.stats.summary()
+            == batched.index.nvm.stats.summary()
+        )
+
+    def test_repeated_key_in_update_batch(self):
+        sequential, batched = make_store_pair()
+        pairs = fresh_pairs(np.random.default_rng(13), 20, 24)
+        for store in (sequential, batched):
+            store.put_many(pairs)
+        updates = [
+            (pairs[3][0], b"first"), (pairs[5][0], b"other"),
+            (pairs[3][0], b"second"),
+        ]
+        for key, value in updates:
+            sequential.update(key, value)
+        batched.update_many(updates)
+        for store in (sequential, batched):
+            assert store.get(pairs[3][0]).startswith(b"second")
+        assert_stores_equal(sequential, batched)
+
+    def test_missing_key_mid_update_batch(self):
+        sequential, batched = make_store_pair()
+        pairs = fresh_pairs(np.random.default_rng(14), 10, 24)
+        for store in (sequential, batched):
+            store.put_many(pairs)
+        updates = [
+            (pairs[0][0], b"x"), (b"ghost", b"y"), (pairs[1][0], b"z"),
+        ]
+        with pytest.raises(KeyNotFoundError):
+            for key, value in updates:
+                sequential.update(key, value)
+        with pytest.raises(KeyNotFoundError):
+            batched.update_many(updates)
+        for store in (sequential, batched):
+            assert store.get(pairs[0][0]).startswith(b"x")
+        assert_stores_equal(sequential, batched)
+
+
+class TestRandomizedMixedWorkload:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_scripted_mixed_ops(self, seed):
+        """Random op scripts, grouped into batches of consecutive
+        same-op runs, stay equivalent to sequential execution."""
+        sequential, batched = make_store_pair(
+            load_factor=0.4, retrain_check_interval=32
+        )
+        rng = np.random.default_rng(100 + seed)
+        live: list[bytes] = []
+        next_id = 0
+        script: list[tuple[str, list[tuple[bytes, bytes]] | list[bytes]]] = []
+        for _ in range(12):
+            op = rng.choice(["put", "update", "delete"])
+            size = int(rng.integers(1, 25))
+            if op == "put":
+                batch = []
+                for _ in range(size):
+                    key = f"m{next_id}".encode()
+                    next_id += 1
+                    value = clustered_values(rng, 1, 24)[0].tobytes()
+                    batch.append((key, value))
+                    live.append(key)
+                script.append(("put", batch))
+            elif op == "update" and live:
+                picks = rng.choice(len(live), size=min(size, len(live)),
+                                   replace=False)
+                script.append((
+                    "update",
+                    [(live[p], clustered_values(rng, 1, 24)[0].tobytes())
+                     for p in picks],
+                ))
+            elif op == "delete" and live:
+                picks = sorted(
+                    rng.choice(len(live), size=min(size, len(live)),
+                               replace=False),
+                    reverse=True,
+                )
+                doomed = [live.pop(p) for p in picks]
+                script.append(("delete", doomed))
+        for op, batch in script:
+            if op == "put":
+                for key, value in batch:
+                    sequential.put(key, value)
+                batched.put_many(batch)
+            elif op == "update":
+                for key, value in batch:
+                    sequential.update(key, value)
+                batched.update_many(batch)
+            else:
+                for key in batch:
+                    sequential.delete(key)
+                batched.delete_many(batch)
+        assert_stores_equal(sequential, batched)
+
+
+class TestDuplicateKeyConsistency:
+    """Regression: DuplicateKeyError must be raised consistently by the
+    single and batch insert-only paths, without partial mutation."""
+
+    def test_put_unique_raises_on_existing_key(self):
+        _, store = make_store_pair()
+        store.put_unique(b"k1", b"v")
+        with pytest.raises(DuplicateKeyError):
+            store.put_unique(b"k1", b"w")
+        assert store.get(b"k1").startswith(b"v")
+
+    def test_put_many_unique_raises_on_existing_key(self):
+        _, store = make_store_pair()
+        store.put(b"k1", b"v")
+        before = store.nvm.snapshot()
+        with pytest.raises(DuplicateKeyError):
+            store.put_many([(b"new", b"x"), (b"k1", b"y")], unique=True)
+        # Atomic validation: nothing was written, not even the fresh key.
+        assert np.array_equal(store.nvm.snapshot(), before)
+        assert b"new" not in store
+
+    def test_put_many_unique_rejects_in_batch_duplicates(self):
+        _, store = make_store_pair()
+        before = store.nvm.snapshot()
+        with pytest.raises(DuplicateKeyError):
+            store.put_many([(b"dup", b"x"), (b"dup", b"y")], unique=True)
+        assert np.array_equal(store.nvm.snapshot(), before)
+        assert b"dup" not in store
+
+    def test_normalization_consistency(self):
+        """A short key and its zero-padded form are the same key on both
+        paths."""
+        _, store = make_store_pair()
+        store.put_unique(b"k1", b"v")
+        with pytest.raises(DuplicateKeyError):
+            store.put_many([(b"k1\x00\x00", b"w")], unique=True)
+
+    def test_plain_put_many_still_upserts(self):
+        sequential, batched = make_store_pair()
+        for store in (sequential, batched):
+            store.put(b"k1", b"old")
+        sequential.put(b"k1", b"new")
+        batched.put_many([(b"k1", b"new")])
+        for store in (sequential, batched):
+            assert store.get(b"k1").startswith(b"new")
+        assert batched.metrics.updates == 1
+        assert_stores_equal(sequential, batched)

@@ -80,6 +80,29 @@ class TestPrediction:
             assert order[0] == manager.predict(row)
             assert sorted(order.tolist()) == list(range(4))
 
+    def test_predict_many_matches_single(self, manager, rng):
+        rows = clustered_values(rng, 64, 32)
+        manager.train(rows)
+        labels = manager.predict_many(rows[:16])
+        assert labels.tolist() == [manager.predict(row) for row in rows[:16]]
+
+    def test_fallback_order_many_matches_single(self, manager, rng):
+        rows = clustered_values(rng, 64, 32)
+        manager.train(rows)
+        orders = manager.fallback_order_many(rows[:16])
+        assert orders.shape == (16, 4)
+        for i in range(16):
+            assert np.array_equal(orders[i], manager.fallback_order(rows[i]))
+
+    def test_batch_prediction_counts_every_item(self, manager, rng):
+        rows = clustered_values(rng, 64, 32)
+        manager.train(rows)
+        manager.predict_many(rows[:10])
+        assert manager.predict_count == 10
+        manager.fallback_order_many(rows[:5])
+        assert manager.predict_count == 15
+        assert manager.predict_ns_total > 0
+
 
 class TestRetrainPolicy:
     def test_untrained_uses_auto_train_fraction(self, manager):

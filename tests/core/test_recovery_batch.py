@@ -1,0 +1,183 @@
+"""Crash recovery around the batch write pipeline.
+
+``recover()`` rebuilds the DRAM index, model, and pool purely from NVM
+state (data zone + persistent validity bitmap).  The batch pipeline
+orders a chunk's data writes *before* its flag-bit persistence, so a
+crash inside ``put_many`` can only lose whole not-yet-flagged
+operations — recovery always lands on a consistent prefix, never on a
+bucket whose flag is set but whose data never arrived.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PNWConfig, PNWStore
+from repro.nvm.device import SimulatedNVM
+from tests.conftest import clustered_values
+
+
+def make_store(**overrides) -> PNWStore:
+    base = dict(
+        num_buckets=256,
+        value_bytes=24,
+        key_bytes=8,
+        n_clusters=4,
+        seed=7,
+        n_init=1,
+        max_iter=20,
+    )
+    base.update(overrides)
+    config = PNWConfig(**base)
+    rng = np.random.default_rng(42)
+    store = PNWStore(config)
+    store.warm_up(clustered_values(rng, config.num_buckets, config.value_bytes))
+    return store
+
+
+def batch_of(rng: np.random.Generator, n: int,
+             prefix: str = "b") -> list[tuple[bytes, bytes]]:
+    values = clustered_values(rng, n, 24, flip_rate=0.05)
+    return [(f"{prefix}{i}".encode(), values[i].tobytes()) for i in range(n)]
+
+
+class TestRecoveryAfterBatchPuts:
+    def test_recover_rebuilds_index_model_pool(self):
+        store = make_store()
+        pairs = batch_of(np.random.default_rng(1), 100)
+        store.put_many(pairs)
+        expected = {key: store.get(key) for key, _ in pairs}
+        addresses = {
+            key: store.index.peek(key.ljust(8, b"\x00")) for key, _ in pairs
+        }
+        store.crash()
+        assert len(store) == 0
+        store.recover()
+        assert len(store) == 100
+        for key, value in expected.items():
+            assert store.get(key) == value
+        assert store.manager.is_trained
+        assert store.pool.total_free == store.config.num_buckets - 100
+        for address in addresses.values():
+            assert address not in store.pool
+
+    def test_recover_after_batch_updates_and_deletes(self):
+        store = make_store()
+        rng = np.random.default_rng(2)
+        pairs = batch_of(rng, 80)
+        store.put_many(pairs)
+        new_values = clustered_values(rng, 40, 24, flip_rate=0.1)
+        store.update_many(
+            [(pairs[i][0], new_values[i].tobytes()) for i in range(40)]
+        )
+        store.delete_many([key for key, _ in pairs[60:]])
+        expected = {key: store.get(key) for key, _ in pairs[:60]}
+        store.crash()
+        store.recover()
+        assert len(store) == 60
+        for key, value in expected.items():
+            assert store.get(key) == value
+        for key, _ in pairs[60:]:
+            assert key not in store
+
+    def test_recovered_store_keeps_serving_batches(self):
+        store = make_store()
+        store.put_many(batch_of(np.random.default_rng(3), 50))
+        store.crash()
+        store.recover()
+        more = batch_of(np.random.default_rng(4), 50, prefix="post")
+        store.put_many(more)
+        assert len(store) == 100
+        for key, value in more:
+            assert store.get(key) == value
+
+
+class TestMidBatchCrash:
+    def test_interrupted_batch_loses_only_the_torn_chunk(self, monkeypatch):
+        """A crash during the multi-row flush leaves no flags set for the
+        chunk, so recovery resurrects none of its keys."""
+        store = make_store()
+        committed = batch_of(np.random.default_rng(5), 30, prefix="ok")
+        store.put_many(committed)
+
+        original = SimulatedNVM.write_many
+
+        def torn_write_many(self, addresses, rows, scheme=None):
+            half = len(addresses) // 2
+            original(self, addresses[:half], rows[:half], scheme)
+            raise RuntimeError("simulated power failure mid-flush")
+
+        monkeypatch.setattr(SimulatedNVM, "write_many", torn_write_many)
+        torn = batch_of(np.random.default_rng(6), 20, prefix="torn")
+        with pytest.raises(RuntimeError, match="power failure"):
+            store.put_many(torn)
+        monkeypatch.setattr(SimulatedNVM, "write_many", original)
+
+        store.crash()
+        store.recover()
+        assert len(store) == 30
+        for key, value in committed:
+            assert store.get(key) == value
+        for key, _ in torn:
+            assert key not in store
+        # The torn chunk's addresses were never flagged, so they are all
+        # back in the pool and immediately reusable.
+        assert store.pool.total_free == store.config.num_buckets - 30
+        store.put_many(torn)
+        for key, value in torn:
+            assert store.get(key) == value
+
+    def test_partial_flag_bitmap(self):
+        """Flags that never persisted (crash between flag-word writes)
+        lose exactly their operations and nothing else."""
+        store = make_store()
+        pairs = batch_of(np.random.default_rng(7), 40)
+        reports = store.put_many(pairs)
+        # Simulate a torn flag flush: the last 15 ops' validity bits never
+        # reached NVM.
+        for report in reports[25:]:
+            store._set_valid(report.address, False)
+        store.crash()
+        store.recover()
+        assert len(store) == 25
+        for key, value in pairs[:25]:
+            assert store.get(key) == value
+        for key, _ in pairs[25:]:
+            assert key not in store
+        # Unflagged addresses were refiled as free under their contents'
+        # clusters.
+        for report in reports[25:]:
+            assert report.address in store.pool
+
+    def test_recovery_equivalent_to_sequential_crash(self):
+        """After identical op streams and a crash, batch-built and
+        sequentially-built stores recover to identical state."""
+        a = make_store()
+        b = make_store()
+        pairs = batch_of(np.random.default_rng(8), 60)
+        for key, value in pairs:
+            a.put(key, value)
+        b.put_many(pairs)
+        for store in (a, b):
+            store.crash()
+            store.recover()
+        assert np.array_equal(a.nvm.snapshot(), b.nvm.snapshot())
+        assert dict(a.index.items()) == dict(b.index.items())
+        assert a.pool._free_lists == b.pool._free_lists
+        assert len(a) == len(b) == 60
+
+
+class TestRecoveryGuards:
+    def test_recover_requires_persistent_flags(self):
+        config = PNWConfig(
+            num_buckets=32, value_bytes=24, key_bytes=8, n_clusters=2,
+            seed=0, n_init=1, persist_flags=False,
+        )
+        store = PNWStore(config)
+        store.put_many([(b"k", b"v")])
+        store.crash()
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="persist_flags"):
+            store.recover()

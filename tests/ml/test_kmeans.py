@@ -116,6 +116,24 @@ class TestKMeansPredict:
         d = np.linalg.norm(model.cluster_centers_ - X[0], axis=1)
         assert np.array_equal(order, np.argsort(d, kind="stable"))
 
+    def test_centroid_order_many_matches_per_row(self, rng):
+        X, _ = blobs(rng)
+        model = KMeans(3, seed=0).fit(X)
+        orders = model.centroid_order_by_distance_many(X[:20])
+        for i in range(20):
+            assert np.array_equal(
+                orders[i], model.centroid_order_by_distance(X[i])
+            )
+
+    def test_centroid_distances_match_predict(self, rng):
+        X, _ = blobs(rng)
+        model = KMeans(3, seed=0).fit(X)
+        distances = model.centroid_distances(X[:20])
+        assert distances.shape == (20, 3)
+        assert np.array_equal(
+            np.argmin(distances, axis=1), model.predict(X[:20])
+        )
+
     def test_score_is_negative_sse(self, rng):
         X, _ = blobs(rng)
         model = KMeans(3, seed=0).fit(X)

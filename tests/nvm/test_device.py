@@ -183,6 +183,96 @@ class TestWearAccounting:
         assert snap[0].sum() == 0
 
 
+class TestWriteMany:
+    """The vectorized multi-row write must be indistinguishable from the
+    same rows written one at a time."""
+
+    @staticmethod
+    def twin_devices(rng, n=16, width=24, **kwargs):
+        devices = []
+        old = rng.integers(0, 256, (n, width), dtype=np.uint8)
+        for _ in range(2):
+            nvm = SimulatedNVM(n, width, word_bytes=4, **kwargs)
+            nvm.load_many(0, old)
+            devices.append(nvm)
+        return devices[0], devices[1]
+
+    def test_matches_sequential_writes(self, rng):
+        single, bulk = self.twin_devices(rng)
+        addresses = rng.permutation(16)[:10]
+        rows = rng.integers(0, 256, (10, 24), dtype=np.uint8)
+        expected = [single.write(int(a), row) for a, row in zip(addresses, rows)]
+        got = bulk.write_many(addresses, rows)
+        assert expected == got
+        assert np.array_equal(single.snapshot(), bulk.snapshot())
+        assert single.stats.summary() == bulk.stats.summary()
+        assert np.array_equal(
+            single.stats.writes_per_address, bulk.stats.writes_per_address
+        )
+
+    def test_matches_sequential_with_bit_wear(self, rng):
+        single, bulk = self.twin_devices(rng, track_bit_wear=True)
+        addresses = np.arange(16)
+        rows = rng.integers(0, 256, (16, 24), dtype=np.uint8)
+        for a, row in zip(addresses, rows):
+            single.write(int(a), row)
+        bulk.write_many(addresses, rows)
+        assert np.array_equal(single.stats.bit_wear, bulk.stats.bit_wear)
+
+    def test_duplicate_addresses_fall_back_to_row_order(self, rng):
+        """Later rows to the same address must see earlier rows' data."""
+        single, bulk = self.twin_devices(rng)
+        addresses = np.array([3, 3, 5, 3])
+        rows = rng.integers(0, 256, (4, 24), dtype=np.uint8)
+        expected = [single.write(int(a), row) for a, row in zip(addresses, rows)]
+        got = bulk.write_many(addresses, rows)
+        assert expected == got
+        assert np.array_equal(single.snapshot(), bulk.snapshot())
+        assert single.stats.summary() == bulk.stats.summary()
+
+    def test_scheme_writes_loop_per_row(self, rng):
+        from repro.writeschemes import FlipNWrite
+
+        single, bulk = self.twin_devices(rng)
+        scheme_a, scheme_b = FlipNWrite(), FlipNWrite()
+        addresses = np.arange(6)
+        rows = rng.integers(0, 256, (6, 24), dtype=np.uint8)
+        for a, row in zip(addresses, rows):
+            single.write(int(a), row, scheme_a)
+        bulk.write_many(addresses, rows, scheme_b)
+        assert np.array_equal(single.snapshot(), bulk.snapshot())
+        assert single.stats.summary() == bulk.stats.summary()
+        for address in addresses:
+            assert np.array_equal(
+                single.read_logical(int(address), scheme_a),
+                bulk.read_logical(int(address), scheme_b),
+            )
+
+    def test_shape_validation(self, rng):
+        nvm = SimulatedNVM(4, 24)
+        with pytest.raises(ValueError, match="rows shape"):
+            nvm.write_many(np.array([0, 1]), np.zeros((3, 24), dtype=np.uint8))
+        with pytest.raises(CapacityError):
+            nvm.write_many(np.array([9]), np.zeros((1, 24), dtype=np.uint8))
+
+    def test_empty_batch(self):
+        nvm = SimulatedNVM(4, 24)
+        assert nvm.write_many(
+            np.array([], dtype=np.int64), np.zeros((0, 24), dtype=np.uint8)
+        ) == []
+        assert nvm.stats.total_writes == 0
+
+    def test_peek_many_gathers_without_accounting(self, rng):
+        nvm = SimulatedNVM(8, 24)
+        rows = rng.integers(0, 256, (8, 24), dtype=np.uint8)
+        nvm.load_many(0, rows)
+        got = nvm.peek_many(np.array([5, 1, 5]))
+        assert np.array_equal(got, rows[[5, 1, 5]])
+        assert nvm.stats.total_reads == 0
+        with pytest.raises(CapacityError):
+            nvm.peek_many(np.array([8]))
+
+
 class TestLatencyModelIntegration:
     def test_custom_latency(self, rng):
         nvm = SimulatedNVM(2, 64, latency=LatencyModel(line_write_ns=100.0))

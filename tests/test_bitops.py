@@ -13,6 +13,7 @@ from repro._bitops import (
     buffer_to_int,
     bytes_to_array,
     hamming_distance,
+    hamming_rows,
     int_to_buffer,
     pack_bits,
     popcount,
@@ -81,6 +82,22 @@ class TestHamming:
         assert hamming_distance(a, c) <= (
             hamming_distance(a, b) + hamming_distance(b, c)
         )
+
+    def test_hamming_rows_matches_scalar(self, rng):
+        a = rng.integers(0, 256, (6, 16), dtype=np.uint8)
+        b = rng.integers(0, 256, (6, 16), dtype=np.uint8)
+        rows = hamming_rows(a, b)
+        assert rows.tolist() == [
+            hamming_distance(a[i], b[i]) for i in range(6)
+        ]
+
+    def test_hamming_rows_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            hamming_rows(
+                np.zeros((2, 4), dtype=np.uint8), np.zeros((3, 4), dtype=np.uint8)
+            )
+        with pytest.raises(ValueError, match="2-D"):
+            hamming_rows(np.zeros(4, dtype=np.uint8), np.zeros(4, dtype=np.uint8))
 
 
 class TestPackUnpack:

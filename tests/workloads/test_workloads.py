@@ -59,6 +59,22 @@ class TestGeneratorContract:
         workload = make_workload(name, seed=0)
         assert workload.item_bytes % 4 == 0
 
+    def test_batches_chunking_and_determinism(self, name):
+        w1 = make_workload(name, seed=5)
+        chunks = list(w1.batches(10, 4))
+        assert [c.shape[0] for c in chunks] == [4, 4, 2]
+        assert all(c.shape[1] == w1.item_bytes for c in chunks)
+        # Same seed + same chunking -> the same stream.
+        w2 = make_workload(name, seed=5)
+        assert np.array_equal(np.vstack(chunks), np.vstack(list(w2.batches(10, 4))))
+        # Chunks continue one stream: a following batch differs.
+        follow_on = w1.batches(4, 4)
+        assert not np.array_equal(next(follow_on), chunks[0])
+
+    def test_batches_reject_bad_batch_size(self, name):
+        with pytest.raises(ValueError, match="batch_size"):
+            list(make_workload(name, seed=0).batches(4, 0))
+
 
 class TestRegistry:
     def test_all_names_registered(self):
