@@ -26,7 +26,7 @@ import time
 
 import numpy as np
 
-from repro.bench import key_for, make_pnw_store
+from repro.bench import key_for, make_pnw_store, results_path
 from repro.workloads import make_workload
 
 
@@ -103,14 +103,16 @@ def main(argv: list[str] | None = None) -> int:
     new_values = np.vstack(list(workload.batches(n_ops, max(batch_sizes))))
     keys = [key_for(i) for i in range(n_ops)]
 
-    print(f"workload={args.workload}  zone={num_buckets} buckets x "
-          f"{old_values.shape[1]}B values  ops={n_ops}  "
-          f"K={args.n_clusters}")
+    lines = [f"workload={args.workload}  zone={num_buckets} buckets x "
+             f"{old_values.shape[1]}B values  ops={n_ops}  "
+             f"K={args.n_clusters}"]
+    print(lines[0])
 
     seq_store = build_store(old_values, args.n_clusters, args.seed)
     seq_seconds = run_sequential(seq_store, keys, new_values)
     seq_ops = n_ops / seq_seconds
-    print(f"{'sequential put':>18}: {seq_ops:10.0f} ops/s   (baseline)")
+    lines.append(f"{'sequential put':>18}: {seq_ops:10.0f} ops/s   (baseline)")
+    print(lines[-1])
 
     reference = seq_store.nvm.snapshot()
     speedups: dict[int, float] = {}
@@ -120,12 +122,17 @@ def main(argv: list[str] | None = None) -> int:
         ops = n_ops / seconds
         speedups[batch_size] = seq_seconds / seconds
         identical = bool(np.array_equal(store.nvm.snapshot(), reference))
-        print(f"{'put_many b=' + str(batch_size):>18}: {ops:10.0f} ops/s   "
-              f"{speedups[batch_size]:5.2f}x   state-identical={identical}")
+        lines.append(f"{'put_many b=' + str(batch_size):>18}: {ops:10.0f} ops/s   "
+                     f"{speedups[batch_size]:5.2f}x   state-identical={identical}")
+        print(lines[-1])
         if not identical:
             print("ERROR: batched NVM state diverged from sequential",
                   file=sys.stderr)
             return 1
+
+    saved = results_path("bench-batch-throughput")
+    saved.write_text("\n".join(lines) + "\n")
+    print(f"saved {saved}")
 
     gated = max(batch_sizes)
     if args.min_speedup is not None and speedups[gated] < args.min_speedup:

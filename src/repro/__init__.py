@@ -39,6 +39,7 @@ from .errors import (
 )
 from .ml import PCA, KMeans, MiniBatchKMeans, choose_k
 from .nvm import HybridMemory, LatencyModel, SimulatedNVM, WearStats
+from .shard import ShardedPNWStore, make_store
 from .writeschemes import (
     Captopril,
     ConventionalWrite,
@@ -53,6 +54,8 @@ __version__ = "1.0.0"
 __all__ = [
     "PNWConfig",
     "PNWStore",
+    "ShardedPNWStore",
+    "make_store",
     "OperationReport",
     "StoreMetrics",
     "DynamicAddressPool",

@@ -12,7 +12,7 @@ from pathlib import Path
 
 from .metrics import ExperimentResult
 
-__all__ = ["render", "save", "report"]
+__all__ = ["render", "save", "report", "results_dir", "results_path"]
 
 
 def _format_cell(value) -> str:
@@ -48,9 +48,26 @@ def results_dir() -> Path:
     return path
 
 
+def results_path(name: str, suffix: str = ".txt") -> Path:
+    """Canonical path for one persisted artifact under the results dir.
+
+    Every script that writes an output file goes through this helper
+    (instead of hand-rolling ``results/<something>.txt``), so the
+    ``PNW_RESULTS_DIR`` override, directory creation, and naming scheme
+    live in exactly one place.  ``name`` is the artifact's identifier
+    (e.g. ``fig6-normal`` or ``bench-shard-scaling``); path separators
+    are rejected so artifacts cannot escape the results directory.
+    """
+    if not name:
+        raise ValueError("artifact name must be non-empty")
+    if "/" in name or "\\" in name:
+        raise ValueError(f"artifact name {name!r} must not contain path separators")
+    return results_dir() / f"{name}{suffix}"
+
+
 def save(result: ExperimentResult) -> Path:
     """Persist the rendered table; returns the file path."""
-    path = results_dir() / f"{result.exp_id}.txt"
+    path = results_path(result.exp_id)
     path.write_text(render(result) + "\n")
     return path
 

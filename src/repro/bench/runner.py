@@ -22,6 +22,7 @@ import numpy as np
 from .._bitops import bytes_to_array
 from ..core.config import PNWConfig
 from ..core.store import PNWStore
+from ..shard import ShardedPNWStore, make_store
 from ..stores.base import BaselineKVStore
 from ..writeschemes.base import WriteScheme
 from ..nvm.device import SimulatedNVM
@@ -112,13 +113,17 @@ def make_pnw_store(
     update_mode: str = "endurance",
     index_placement: str = "dram",
     probe_limit: int = 64,
-) -> PNWStore:
+    shards: int = 1,
+) -> PNWStore | ShardedPNWStore:
     """A store configured for the paper's measurement streams.
 
     By default retraining is disabled mid-stream (the Fig. 6 runs train
     once on the old data); pass ``allow_retrain=True`` for the lifecycle
     experiments (Fig. 10).  ``probe_limit=0`` selects Algorithm 2's plain
     free-list pop instead of §IV's minimum-Hamming probing.
+    ``shards=N`` hash-partitions the zone into N concurrent per-shard
+    batch pipelines (see :mod:`repro.shard`); ``num_buckets`` stays the
+    *total* capacity.
     """
     config = PNWConfig(
         num_buckets=num_buckets,
@@ -132,10 +137,11 @@ def make_pnw_store(
         update_mode=update_mode,
         index_placement=index_placement,
         probe_limit=probe_limit,
+        shards=shards,
         load_factor=0.9 if allow_retrain else 1.0,
         retrain_check_interval=128 if allow_retrain else 2**62,
     )
-    return PNWStore(config)
+    return make_store(config)
 
 
 class PNWStreamSession:
@@ -146,6 +152,8 @@ class PNWStreamSession:
     more than ``live_window`` keys are live (default: half the zone — the
     paper's insert:delete = 2:1 steady state).  Sessions are reusable
     across calls, which is how the Fig. 10 phases share one store.
+    ``shards=N`` runs the same schedule against a hash-partitioned
+    :class:`~repro.shard.ShardedPNWStore` of the same total capacity.
     """
 
     def __init__(
@@ -160,6 +168,7 @@ class PNWStreamSession:
         track_bit_wear: bool = False,
         allow_retrain: bool = False,
         probe_limit: int = 64,
+        shards: int = 1,
     ) -> None:
         old_values = np.atleast_2d(old_values)
         self.store = make_pnw_store(
@@ -172,6 +181,7 @@ class PNWStreamSession:
             track_bit_wear=track_bit_wear,
             allow_retrain=allow_retrain,
             probe_limit=probe_limit,
+            shards=shards,
         )
         self.store.warm_up(old_values)
         self.live_window = (
@@ -244,7 +254,8 @@ def run_pnw_stream(
     track_bit_wear: bool = False,
     probe_limit: int = 64,
     batch_size: int = 1,
-) -> tuple[StreamMetrics, PNWStore]:
+    shards: int = 1,
+) -> tuple[StreamMetrics, PNWStore | ShardedPNWStore]:
     """One-shot PNW replacement stream (see :class:`PNWStreamSession`)."""
     session = PNWStreamSession(
         old_values,
@@ -255,6 +266,7 @@ def run_pnw_stream(
         pca_components=pca_components,
         track_bit_wear=track_bit_wear,
         probe_limit=probe_limit,
+        shards=shards,
     )
     metrics = session.run(new_values, batch_size=batch_size)
     return metrics, session.store

@@ -67,6 +67,13 @@ class PNWConfig:
         can :meth:`recover` after a crash.  The paper's Fig. 2a
         architecture keeps flags with the DRAM index (no NVM cost, no
         crash recovery); set ``False`` to reproduce that exactly.
+    shards:
+        Hash-partition the key space over this many independent zones,
+        each with its own model, pool, index, and flag bitmap.  ``1``
+        (the default) is the paper's single-zone store.  The field is
+        consumed by :func:`repro.shard.make_store` /
+        :class:`repro.shard.ShardedPNWStore`, which split ``num_buckets``
+        across the shards; a plain :class:`PNWStore` ignores it.
     """
 
     num_buckets: int
@@ -88,6 +95,7 @@ class PNWConfig:
     cacheline_bytes: int = 64
     track_bit_wear: bool = False
     persist_flags: bool = True
+    shards: int = 1
     kmeans_jobs: int = field(default=1)
 
     def __post_init__(self) -> None:
@@ -116,6 +124,13 @@ class PNWConfig:
         if not 0.0 <= self.auto_train_fraction <= 1.0:
             raise ConfigError(
                 f"auto_train_fraction must be in [0, 1], got {self.auto_train_fraction}"
+            )
+        if self.shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {self.shards}")
+        if self.shards > self.num_buckets:
+            raise ConfigError(
+                f"shards={self.shards} exceeds num_buckets={self.num_buckets}; "
+                "every shard needs at least one bucket"
             )
         if self.bucket_bytes % self.word_bytes != 0:
             raise ConfigError(

@@ -84,6 +84,31 @@ class StoreMetrics:
         if self.keep_reports:
             self.reports.append(report)
 
+    @classmethod
+    def merge(cls, parts: Iterable["StoreMetrics"]) -> "StoreMetrics":
+        """Sum several stores' counters into one merged snapshot.
+
+        The sharded store keeps one :class:`StoreMetrics` per shard; this
+        is the whole-store view.  Kept reports are concatenated part by
+        part (shard order, each shard's own chronological order) — a
+        per-shard timeline, not a global one, because concurrent shard
+        pipelines have no cross-shard operation order.  The result is a
+        snapshot: it does not track the parts afterwards.
+        """
+        parts = list(parts)
+        if not parts:
+            raise ValueError("merge() needs at least one StoreMetrics")
+        merged = cls(keep_reports=any(part.keep_reports for part in parts))
+        for part in parts:
+            merged.puts += part.puts
+            merged.gets += part.gets
+            merged.deletes += part.deletes
+            merged.updates += part.updates
+            merged.retrains += part.retrains
+            merged.fallbacks += part.fallbacks
+            merged.reports.extend(part.reports)
+        return merged
+
 
 class PNWStore:
     """Predict-and-Write K/V store on simulated hybrid DRAM-NVM memory."""

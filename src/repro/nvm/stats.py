@@ -14,6 +14,7 @@ paper plots: P(X <= x) over the observed counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -140,6 +141,62 @@ class WearStats:
         """Account one read operation."""
         self.total_reads += 1
         self.total_read_latency_ns += latency_ns
+
+    # ------------------------------------------------------------------ #
+    # aggregation                                                         #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def merge(cls, parts: Sequence["WearStats"]) -> "WearStats":
+        """Aggregate several devices' accounting into one merged view.
+
+        The sharded store keeps one :class:`WearStats` per shard zone;
+        this produces the whole-store picture: totals are summed and the
+        per-address (and, when every part tracks it, per-bit) counters
+        are concatenated in part order, so address ``i`` of part ``j``
+        appears at offset ``sum(len(parts[:j])) + i`` — the sharded
+        store's global address space.  CDF helpers on the merged object
+        therefore give the cross-shard Figures 12/13 curves directly.
+
+        The merged object is an independent snapshot: later writes to the
+        parts do not update it.  Bit-level wear is merged only when every
+        part tracks it (a partial merge would under-report wear);
+        ``bucket_bytes`` must agree so per-bit columns line up.
+        """
+        parts = list(parts)
+        if not parts:
+            raise ValueError("merge() needs at least one WearStats")
+        bucket_bytes = parts[0].bucket_bytes
+        if any(part.bucket_bytes != bucket_bytes for part in parts):
+            raise ValueError(
+                "cannot merge WearStats with different bucket sizes: "
+                f"{sorted({part.bucket_bytes for part in parts})}"
+            )
+        track_bits = all(part.bit_wear is not None for part in parts)
+        # Build untracked, then attach the concatenated counters: letting
+        # __post_init__ allocate a zeroed bit_wear matrix only to replace
+        # it would double the peak memory of every merge.
+        merged = cls(
+            num_buckets=sum(part.num_buckets for part in parts),
+            bucket_bytes=bucket_bytes,
+            track_bit_wear=False,
+        )
+        merged.writes_per_address = np.concatenate(
+            [part.writes_per_address for part in parts]
+        )
+        if track_bits:
+            merged.track_bit_wear = True
+            merged.bit_wear = np.vstack([part.bit_wear for part in parts])
+        for part in parts:
+            merged.total_writes += part.total_writes
+            merged.total_reads += part.total_reads
+            merged.total_bit_updates += part.total_bit_updates
+            merged.total_aux_bit_updates += part.total_aux_bit_updates
+            merged.total_words_touched += part.total_words_touched
+            merged.total_lines_touched += part.total_lines_touched
+            merged.total_write_latency_ns += part.total_write_latency_ns
+            merged.total_read_latency_ns += part.total_read_latency_ns
+        return merged
 
     # ------------------------------------------------------------------ #
     # derived views                                                       #

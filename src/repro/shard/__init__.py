@@ -1,0 +1,13 @@
+"""Sharded PNW: hash-partitioned zones with concurrent batch pipelines."""
+
+from .router import ROUTER_SEED, assign_shards, shard_of
+from .store import ShardedPNWStore, make_store, shard_configs
+
+__all__ = [
+    "ROUTER_SEED",
+    "ShardedPNWStore",
+    "assign_shards",
+    "make_store",
+    "shard_configs",
+    "shard_of",
+]

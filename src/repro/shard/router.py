@@ -1,0 +1,39 @@
+"""Key-to-shard routing for the hash-partitioned store.
+
+Shard choice must be a pure function of the (normalized) key: the same
+key always lands on the same shard across puts, gets, updates, deletes,
+and crash/recovery cycles, with no routing table to persist.  We reuse
+the repo's seeded FNV-1a (``stable_hash64``) under a dedicated seed so
+shard routing is statistically independent of the hash index's own
+bucket choice — correlated hashes would funnel one index bucket's keys
+into one shard and skew the partition.
+"""
+
+from __future__ import annotations
+
+from ..index.base import KeyIndex, stable_hash64
+
+__all__ = ["ROUTER_SEED", "assign_shards", "shard_of"]
+
+#: Seed deriving the routing hash; distinct from every index-side seed.
+ROUTER_SEED = 0x5A4D
+
+
+def shard_of(key: bytes, n_shards: int, key_bytes: int) -> int:
+    """Shard owning ``key`` (normalized to the store's key width)."""
+    normalized = KeyIndex.normalize_key(key, key_bytes)
+    return stable_hash64(normalized, seed=ROUTER_SEED) % n_shards
+
+
+def assign_shards(normalized_keys: list[bytes], n_shards: int) -> list[int]:
+    """Owning shard per key — the batch path's one-hash-per-key form.
+
+    Keys must already be normalized to the store's key width (the batch
+    entry points normalize once up front); each key is hashed exactly
+    once here and the result reused for routing, uniqueness pre-checks,
+    and report reassembly.
+    """
+    return [
+        stable_hash64(key, seed=ROUTER_SEED) % n_shards
+        for key in normalized_keys
+    ]

@@ -1,0 +1,462 @@
+"""Hash-partitioned PNW store: N independent zones, one pipeline each.
+
+``ShardedPNWStore`` splits the key space across ``N`` shards by a
+stable hash of the key (``router.shard_of``).  Each shard is a complete,
+unmodified :class:`~repro.core.store.PNWStore` — its own NVM zone,
+validity bitmap, hash index, k-means model, and dynamic address pool —
+so everything proved about the single store (batch/sequential
+equivalence, crash recovery from NVM state, wear accounting) holds
+per shard by construction.
+
+The sharded layer adds exactly two things:
+
+* **Routing** — batch mutations (``put_many`` / ``update_many`` /
+  ``delete_many``) are split into per-shard sub-batches that preserve
+  batch order, executed concurrently on a thread pool, and their
+  reports reassembled into input order.  The NumPy-heavy stages of the
+  per-shard pipeline (featurize, predict, Hamming probing, multi-row
+  commit) release the GIL, and each shard's pool probe scans a free
+  list ``1/N`` the size, so sharding wins twice: less probe work per
+  op and real thread parallelism over it.
+* **Aggregation** — cross-shard :class:`WearStats` / ``StoreMetrics``
+  merges and whole-store CDFs, with shard-local bucket addresses
+  remapped into one global address space (shard ``s`` owns the
+  contiguous range ``[base(s), base(s) + buckets(s))``).
+
+Consistency across shards: each sub-batch keeps the single store's
+sequential semantics *within its shard*.  Because shards execute
+concurrently, a mid-batch error in one shard (pool exhaustion, missing
+key) cannot stop the others part-way — sibling sub-batches run to
+completion, then the lowest-shard error is re-raised (with
+``committed_reports`` aggregated across shards for pool exhaustion).
+Whole-store ``crash()`` / ``recover()`` delegate per shard; a torn
+shard loses only its own unflagged operations.
+
+One sharded store must be driven from one thread at a time; the
+concurrency here is *internal* (across shards within one call).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from ..core.config import PNWConfig
+from ..core.store import OperationReport, PNWStore, StoreMetrics
+from ..errors import ConfigError, DuplicateKeyError, PoolExhaustedError
+from ..index.base import KeyIndex
+from ..nvm.stats import WearStats
+from .router import assign_shards, shard_of
+
+__all__ = ["ShardedPNWStore", "make_store", "shard_configs"]
+
+
+def shard_configs(config: PNWConfig, shards: int | None = None) -> list[PNWConfig]:
+    """Derive the per-shard configs a sharded store builds its zones from.
+
+    ``num_buckets`` is split as evenly as possible (the first
+    ``num_buckets % shards`` shards get one extra bucket); each shard's
+    seed is offset by its shard id so the k-means restarts are
+    independent streams, and ``shards`` is reset to 1 — a shard is a
+    plain single-zone store.  Exposed so tests and ablations can build
+    the *identical* standalone stores a sharded store runs internally.
+    """
+    n = config.shards if shards is None else shards
+    if n < 1:
+        raise ConfigError(f"shards must be >= 1, got {n}")
+    if n > config.num_buckets:
+        raise ConfigError(
+            f"shards={n} exceeds num_buckets={config.num_buckets}"
+        )
+    base, extra = divmod(config.num_buckets, n)
+    return [
+        dataclasses.replace(
+            config,
+            num_buckets=base + (1 if i < extra else 0),
+            seed=None if config.seed is None else config.seed + i,
+            shards=1,
+        )
+        for i in range(n)
+    ]
+
+
+def make_store(
+    config: PNWConfig, *, max_workers: int | None = None
+) -> "PNWStore | ShardedPNWStore":
+    """Store factory: single-zone for ``shards=1``, sharded otherwise.
+
+    The drop-in entry point for drivers that take a ``shards=N`` knob —
+    both return types expose the same ``OperationReport``-based API.
+    """
+    if config.shards == 1:
+        return PNWStore(config)
+    return ShardedPNWStore(config, max_workers=max_workers)
+
+
+class ShardedPNWStore:
+    """N hash-partitioned :class:`PNWStore` zones behind one batch API."""
+
+    def __init__(
+        self,
+        config: PNWConfig,
+        shards: int | None = None,
+        *,
+        max_workers: int | None = None,
+    ) -> None:
+        self.config = config
+        configs = shard_configs(config, shards)
+        self.n_shards = len(configs)
+        self.stores = [PNWStore(shard_config) for shard_config in configs]
+        sizes = [shard_config.num_buckets for shard_config in configs]
+        #: Global base address of each shard's zone (plus a total sentinel).
+        self.shard_bases = np.concatenate(([0], np.cumsum(sizes)))
+        # Size the pool to the CPUs this process can actually run on: on
+        # a single-CPU host threads only add GIL churn, so sub-batches
+        # run serially there (the per-shard probe-set reduction is the
+        # win that survives).  An explicit max_workers overrides.
+        if max_workers is None:
+            try:
+                max_workers = len(os.sched_getaffinity(0))
+            except AttributeError:  # pragma: no cover - non-Linux
+                max_workers = os.cpu_count() or 1
+        workers = min(self.n_shards, max_workers)
+        self._executor = (
+            ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="pnw-shard"
+            )
+            if workers > 1
+            else None
+        )
+
+    # ------------------------------------------------------------------ #
+    # plumbing                                                            #
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Shut down the shard thread pool (later calls run serially)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ShardedPNWStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def shard_of_key(self, key: bytes) -> int:
+        """The shard that owns ``key`` (stable across the store's life)."""
+        return shard_of(key, self.n_shards, self.config.key_bytes)
+
+    def global_address(self, shard_id: int, local_address: int) -> int:
+        """Map a shard-local bucket address into the global address space."""
+        return int(self.shard_bases[shard_id]) + local_address
+
+    def _globalize(self, shard_id: int, report: OperationReport) -> OperationReport:
+        """Re-key a shard-local report's address to the global space.
+
+        Clusters stay shard-local (each shard has its own model, so a
+        cluster id only means something next to its shard's centroids).
+        """
+        return dataclasses.replace(
+            report, address=self.global_address(shard_id, report.address)
+        )
+
+    def _map_shards(
+        self, tasks: dict[int, Callable[[], Any]]
+    ) -> tuple[dict[int, Any], dict[int, BaseException]]:
+        """Run one thunk per shard, concurrently when it pays.
+
+        Every task runs to completion (a failing shard never interrupts
+        its siblings mid-sub-batch); exceptions are collected, not
+        raised.  Single-task maps and closed stores run inline.
+        """
+        results: dict[int, Any] = {}
+        errors: dict[int, BaseException] = {}
+        if self._executor is None or len(tasks) <= 1:
+            for shard_id in sorted(tasks):
+                try:
+                    results[shard_id] = tasks[shard_id]()
+                except Exception as exc:  # noqa: BLE001 - re-raised by caller
+                    errors[shard_id] = exc
+            return results, errors
+        futures = {
+            shard_id: self._executor.submit(task)
+            for shard_id, task in tasks.items()
+        }
+        for shard_id, future in futures.items():
+            exc = future.exception()
+            if exc is not None:
+                errors[shard_id] = exc
+            else:
+                results[shard_id] = future.result()
+        return results, errors
+
+    def _raise_merged(
+        self,
+        errors: dict[int, BaseException],
+        results: dict[int, list[OperationReport]],
+    ) -> None:
+        """Re-raise the lowest shard's error after all shards settled.
+
+        For pool exhaustion the single store stamps the exception with
+        ``committed_reports``; the sharded form aggregates them across
+        shards — every sibling shard's full sub-batch plus the failing
+        shards' committed prefixes, grouped shard by shard (concurrent
+        shards have no global commit order) with global addresses.
+        """
+        first = errors[min(errors)]
+        if isinstance(first, PoolExhaustedError):
+            committed: list[OperationReport] = []
+            for shard_id in sorted(set(results) | set(errors)):
+                reports = (
+                    results[shard_id]
+                    if shard_id in results
+                    else getattr(errors[shard_id], "committed_reports", [])
+                )
+                committed.extend(
+                    self._globalize(shard_id, report) for report in reports
+                )
+            first.committed_reports = committed
+        raise first
+
+    def _run_batch(
+        self,
+        items: list,
+        shard_ids: list[int],
+        op: Callable[[PNWStore, list], list[OperationReport]],
+    ) -> list[OperationReport]:
+        """Split a batch by shard, run sub-batches concurrently, and
+        reassemble per-shard reports into input order."""
+        groups: list[list[int]] = [[] for _ in range(self.n_shards)]
+        for position, shard_id in enumerate(shard_ids):
+            groups[shard_id].append(position)
+        tasks: dict[int, Callable[[], list[OperationReport]]] = {}
+        for shard_id, positions in enumerate(groups):
+            if positions:
+                sub = [items[position] for position in positions]
+                tasks[shard_id] = (
+                    lambda store=self.stores[shard_id], sub=sub: op(store, sub)
+                )
+        results, errors = self._map_shards(tasks)
+        if errors:
+            self._raise_merged(errors, results)
+        out: list[OperationReport | None] = [None] * len(items)
+        for shard_id, reports in results.items():
+            for position, report in zip(groups[shard_id], reports):
+                out[position] = self._globalize(shard_id, report)
+        return out  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                           #
+    # ------------------------------------------------------------------ #
+
+    def warm_up(self, old_data: np.ndarray) -> None:
+        """Fill the zones with "old data" and train every shard's model.
+
+        Rows are dealt to shards as contiguous slices of the global
+        address space (shard ``s`` gets rows ``[base(s), base(s+1))``),
+        so a full-zone warm-up leaves the concatenated shard zones
+        byte-identical to a single store warmed with the same matrix.
+        Every shard warms up — a shard whose slice is empty (partial
+        warm-up) trains on its zeroed zone, exactly as a single store
+        given fewer rows than buckets does.  Shard training runs
+        concurrently.
+        """
+        old_data = np.atleast_2d(np.ascontiguousarray(old_data, dtype=np.uint8))
+        if old_data.shape[0] > self.config.num_buckets:
+            raise ValueError(
+                f"{old_data.shape[0]} warm-up rows exceed the "
+                f"{self.config.num_buckets}-bucket zone"
+            )
+        tasks: dict[int, Callable[[], None]] = {}
+        for shard_id, store in enumerate(self.stores):
+            rows = old_data[
+                self.shard_bases[shard_id] : self.shard_bases[shard_id + 1]
+            ]
+            tasks[shard_id] = lambda store=store, rows=rows: store.warm_up(rows)
+        _, errors = self._map_shards(tasks)
+        if errors:
+            raise errors[min(errors)]
+
+    def retrain(self) -> None:
+        """Retrain every shard's model on its own zone, concurrently."""
+        _, errors = self._map_shards(
+            {i: store.retrain for i, store in enumerate(self.stores)}
+        )
+        if errors:
+            raise errors[min(errors)]
+
+    def crash(self) -> None:
+        """Power-fail every shard: all DRAM state is dropped."""
+        for store in self.stores:
+            store.crash()
+
+    def recover(self) -> None:
+        """Rebuild every shard from its own NVM state, concurrently.
+
+        Shards recover independently — a shard torn mid-flush loses only
+        its own unflagged operations; sibling shards come back whole.
+        """
+        _, errors = self._map_shards(
+            {i: store.recover for i, store in enumerate(self.stores)}
+        )
+        if errors:
+            raise errors[min(errors)]
+
+    # ------------------------------------------------------------------ #
+    # K/V operations                                                      #
+    # ------------------------------------------------------------------ #
+
+    def put(self, key: bytes, value: bytes | np.ndarray) -> OperationReport:
+        """Route one PUT to its shard (Algorithm 2 there)."""
+        shard_id = self.shard_of_key(key)
+        return self._globalize(shard_id, self.stores[shard_id].put(key, value))
+
+    def put_unique(self, key: bytes, value: bytes | np.ndarray) -> OperationReport:
+        """PUT that refuses to overwrite, routed to the owning shard."""
+        shard_id = self.shard_of_key(key)
+        return self._globalize(
+            shard_id, self.stores[shard_id].put_unique(key, value)
+        )
+
+    def put_many(
+        self,
+        pairs: Iterable[tuple[bytes, bytes | np.ndarray]],
+        *,
+        unique: bool = False,
+    ) -> list[OperationReport]:
+        """Batched PUT across shards; reports come back in input order.
+
+        With ``unique=True`` the whole batch is validated against every
+        shard's index *before* anything is dispatched, so a duplicate
+        anywhere rejects the batch with no shard mutated (same contract
+        as the single store's ``unique`` path).
+        """
+        items = list(pairs)
+        keys = [
+            KeyIndex.normalize_key(key, self.config.key_bytes)
+            for key, _ in items
+        ]
+        shard_ids = assign_shards(keys, self.n_shards)
+        if unique:
+            seen: set[bytes] = set()
+            for key, shard_id in zip(keys, shard_ids):
+                if key in seen or key in self.stores[shard_id]:
+                    raise DuplicateKeyError(f"key {key!r} already exists")
+                seen.add(key)
+        return self._run_batch(
+            items, shard_ids, lambda store, sub: store.put_many(sub)
+        )
+
+    def update_many(
+        self, pairs: Iterable[tuple[bytes, bytes | np.ndarray]]
+    ) -> list[OperationReport]:
+        """Batched UPDATE across shards; reports in input order."""
+        items = list(pairs)
+        keys = [
+            KeyIndex.normalize_key(key, self.config.key_bytes)
+            for key, _ in items
+        ]
+        return self._run_batch(
+            items,
+            assign_shards(keys, self.n_shards),
+            lambda store, sub: store.update_many(sub),
+        )
+
+    def delete_many(self, keys: Iterable[bytes]) -> list[OperationReport]:
+        """Batched DELETE across shards; reports in input order."""
+        normalized = [
+            KeyIndex.normalize_key(key, self.config.key_bytes) for key in keys
+        ]
+        return self._run_batch(
+            normalized,
+            assign_shards(normalized, self.n_shards),
+            lambda store, sub: store.delete_many(sub),
+        )
+
+    def update(self, key: bytes, value: bytes | np.ndarray) -> OperationReport:
+        """Route one UPDATE to its shard."""
+        shard_id = self.shard_of_key(key)
+        return self._globalize(
+            shard_id, self.stores[shard_id].update(key, value)
+        )
+
+    def delete(self, key: bytes) -> OperationReport:
+        """Route one DELETE to its shard (Algorithm 3 there)."""
+        shard_id = self.shard_of_key(key)
+        return self._globalize(shard_id, self.stores[shard_id].delete(key))
+
+    def get(self, key: bytes) -> bytes:
+        """Route a GET to its shard: index lookup + data-zone read."""
+        return self.stores[self.shard_of_key(key)].get(key)
+
+    # ------------------------------------------------------------------ #
+    # aggregation / introspection                                         #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def metrics(self) -> StoreMetrics:
+        """Merged operation counters (a fresh snapshot on every access).
+
+        Kept reports carry *global* addresses, consistent with the
+        reports the mutation calls return and with
+        :meth:`wear_stats`'s per-address arrays.  Because this is a
+        snapshot, assigning to it (e.g. the single-store idiom
+        ``store.metrics.keep_reports = True``) has no effect — use
+        :meth:`set_keep_reports`.
+        """
+        merged = StoreMetrics.merge(store.metrics for store in self.stores)
+        merged.reports = [
+            self._globalize(shard_id, report)
+            for shard_id, store in enumerate(self.stores)
+            for report in store.metrics.reports
+        ]
+        return merged
+
+    def set_keep_reports(self, keep: bool) -> None:
+        """Toggle per-operation report retention on every shard."""
+        for store in self.stores:
+            store.metrics.keep_reports = keep
+
+    def wear_stats(self) -> WearStats:
+        """Merged data-zone wear accounting across shards.
+
+        Per-address counters are laid out in the global address space
+        (shard order), so :meth:`WearStats.address_write_cdf` /
+        :meth:`WearStats.bit_wear_cdf` on the result are the whole-store
+        Figures 12/13 curves.  A snapshot — re-merge after more ops.
+        """
+        return WearStats.merge([store.nvm.stats for store in self.stores])
+
+    def wear_summary(self) -> dict[str, float]:
+        """Headline counters of the merged data-zone wear."""
+        return self.wear_stats().summary()
+
+    def address_write_cdf(self) -> tuple[np.ndarray, np.ndarray]:
+        """Whole-store per-address write CDF (paper Fig. 12, all shards)."""
+        return self.wear_stats().address_write_cdf()
+
+    def bit_wear_cdf(self) -> tuple[np.ndarray, np.ndarray]:
+        """Whole-store per-bit wear CDF (paper Fig. 13, all shards)."""
+        return self.wear_stats().bit_wear_cdf()
+
+    @property
+    def total_free(self) -> int:
+        """Free addresses across every shard's pool."""
+        return sum(store.pool.total_free for store in self.stores)
+
+    @property
+    def live_fraction(self) -> float:
+        """Occupied fraction of the combined data zones."""
+        return len(self) / self.config.num_buckets
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self.stores[self.shard_of_key(key)]
+
+    def __len__(self) -> int:
+        return sum(len(store) for store in self.stores)

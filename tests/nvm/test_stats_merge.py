@@ -1,0 +1,111 @@
+"""WearStats.merge: cross-device aggregation for the sharded store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nvm.stats import WearStats, cdf_of_counts
+
+
+def stats_with_writes(
+    num_buckets: int,
+    writes: list[tuple[int, int]],
+    *,
+    bucket_bytes: int = 4,
+    track_bit_wear: bool = False,
+) -> WearStats:
+    """A WearStats fed ``(address, bit_updates)`` write records."""
+    stats = WearStats(num_buckets, bucket_bytes, track_bit_wear)
+    for address, bit_updates in writes:
+        bits = None
+        if track_bit_wear:
+            bits = np.zeros(bucket_bytes * 8, dtype=np.uint8)
+            bits[:bit_updates] = 1
+        stats.record_write(address, bit_updates, 1, 2, 3, 100.0, bits)
+    return stats
+
+
+class TestWearStatsMerge:
+    def test_totals_are_sums(self):
+        a = stats_with_writes(4, [(0, 5), (1, 7)])
+        b = stats_with_writes(8, [(2, 3)])
+        a.record_read(50.0)
+        merged = WearStats.merge([a, b])
+        assert merged.total_writes == 3
+        assert merged.total_reads == 1
+        assert merged.total_bit_updates == 15
+        assert merged.total_aux_bit_updates == 3
+        assert merged.total_words_touched == 6
+        assert merged.total_lines_touched == 9
+        assert merged.total_write_latency_ns == pytest.approx(300.0)
+        assert merged.total_read_latency_ns == pytest.approx(50.0)
+        assert merged.num_buckets == 12
+
+    def test_per_address_counts_concatenate_in_part_order(self):
+        a = stats_with_writes(3, [(0, 1), (0, 1), (2, 1)])
+        b = stats_with_writes(2, [(1, 1)])
+        merged = WearStats.merge([a, b])
+        # Part j's address i lands at global offset sum(sizes[:j]) + i.
+        assert merged.writes_per_address.tolist() == [2, 0, 1, 0, 1]
+
+    def test_merged_cdf_matches_concatenated_counts(self):
+        a = stats_with_writes(4, [(0, 1), (1, 1), (1, 1)])
+        b = stats_with_writes(4, [(3, 1)])
+        merged = WearStats.merge([a, b])
+        values, cum = merged.address_write_cdf()
+        expected_values, expected_cum = cdf_of_counts(
+            np.concatenate([a.writes_per_address, b.writes_per_address])
+        )
+        assert np.array_equal(values, expected_values)
+        assert np.allclose(cum, expected_cum)
+
+    def test_summary_consistency(self):
+        a = stats_with_writes(4, [(0, 8), (1, 4)])
+        b = stats_with_writes(4, [(2, 6)])
+        merged = WearStats.merge([a, b])
+        summary = merged.summary()
+        assert summary["writes"] == 3
+        assert summary["bit_updates"] == 18
+        assert summary["mean_bit_updates_per_write"] == pytest.approx(6.0)
+
+    def test_bit_wear_merges_when_all_parts_track(self):
+        a = stats_with_writes(2, [(0, 3)], track_bit_wear=True)
+        b = stats_with_writes(2, [(1, 5)], track_bit_wear=True)
+        merged = WearStats.merge([a, b])
+        assert merged.bit_wear is not None
+        assert merged.bit_wear.shape == (4, 32)
+        assert int(merged.bit_wear[0].sum()) == 3
+        assert int(merged.bit_wear[3].sum()) == 5
+        values, cum = merged.bit_wear_cdf()
+        assert cum[-1] == pytest.approx(1.0)
+
+    def test_bit_wear_dropped_when_any_part_does_not_track(self):
+        a = stats_with_writes(2, [(0, 3)], track_bit_wear=True)
+        b = stats_with_writes(2, [(1, 5)])
+        merged = WearStats.merge([a, b])
+        assert merged.bit_wear is None
+        with pytest.raises(ValueError, match="track_bit_wear"):
+            merged.bit_wear_cdf()
+
+    def test_merge_is_a_snapshot(self):
+        a = stats_with_writes(2, [(0, 1)])
+        merged = WearStats.merge([a])
+        a.record_write(1, 9, 0, 1, 1, 10.0)
+        assert merged.total_writes == 1
+        assert merged.writes_per_address.tolist() == [1, 0]
+
+    def test_single_part_round_trips(self):
+        a = stats_with_writes(3, [(1, 4)])
+        merged = WearStats.merge([a])
+        assert merged.summary() == a.summary()
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            WearStats.merge([])
+
+    def test_mismatched_bucket_bytes_rejected(self):
+        a = WearStats(2, 4, False)
+        b = WearStats(2, 8, False)
+        with pytest.raises(ValueError, match="bucket sizes"):
+            WearStats.merge([a, b])
