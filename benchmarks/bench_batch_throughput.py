@@ -21,30 +21,24 @@ pytest-benchmark), this is a plain script so CI can smoke it with
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 import time
 
 import numpy as np
 
-from repro.bench import key_for, make_pnw_store, results_path
+from repro.bench import key_for, make_pnw_store, parse_int_list, results_path
 from repro.workloads import make_workload
 
-
-def batch_size_list(text: str) -> list[int]:
-    try:
-        sizes = [int(piece) for piece in text.split(",")]
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"expected comma-separated integers, got {text!r}"
-        ) from None
-    if not sizes or any(size < 1 for size in sizes):
-        raise argparse.ArgumentTypeError("batch sizes must be >= 1")
-    return sizes
+batch_size_list = functools.partial(parse_int_list, minimum=1)
 
 
-def build_store(old_values: np.ndarray, n_clusters: int, seed: int):
+def build_store(
+    old_values: np.ndarray, n_clusters: int, seed: int, probe_limit: int
+):
     store = make_pnw_store(
-        old_values.shape[0], old_values.shape[1], n_clusters, seed=seed
+        old_values.shape[0], old_values.shape[1], n_clusters, seed=seed,
+        probe_limit=probe_limit,
     )
     store.warm_up(old_values)
     return store
@@ -85,6 +79,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--n-clusters", type=int, default=8)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
+        "--probe-limit", type=int, default=64,
+        help="free-list candidates scored per PUT (0: FIFO, -1: whole "
+             "list via the probe engine's content cache)",
+    )
+    parser.add_argument(
         "--min-speedup", type=float, default=None,
         help="exit non-zero unless the largest swept batch size reaches "
              "this speedup over the sequential loop",
@@ -105,10 +104,11 @@ def main(argv: list[str] | None = None) -> int:
 
     lines = [f"workload={args.workload}  zone={num_buckets} buckets x "
              f"{old_values.shape[1]}B values  ops={n_ops}  "
-             f"K={args.n_clusters}"]
+             f"K={args.n_clusters}  probe_limit={args.probe_limit}"]
     print(lines[0])
 
-    seq_store = build_store(old_values, args.n_clusters, args.seed)
+    seq_store = build_store(old_values, args.n_clusters, args.seed,
+                            args.probe_limit)
     seq_seconds = run_sequential(seq_store, keys, new_values)
     seq_ops = n_ops / seq_seconds
     lines.append(f"{'sequential put':>18}: {seq_ops:10.0f} ops/s   (baseline)")
@@ -117,7 +117,8 @@ def main(argv: list[str] | None = None) -> int:
     reference = seq_store.nvm.snapshot()
     speedups: dict[int, float] = {}
     for batch_size in batch_sizes:
-        store = build_store(old_values, args.n_clusters, args.seed)
+        store = build_store(old_values, args.n_clusters, args.seed,
+                            args.probe_limit)
         seconds = run_batched(store, keys, new_values, batch_size)
         ops = n_ops / seconds
         speedups[batch_size] = seq_seconds / seconds

@@ -6,7 +6,10 @@ zones and runs their batch write pipelines concurrently on a thread
 pool.  Sharding wins twice on the PUT hot path: each shard's
 minimum-Hamming probe (§IV) scans a free list 1/N the size, and the
 NumPy-heavy pipeline stages release the GIL so the per-shard work
-overlaps.  This benchmark measures what that buys over the single-store
+overlaps.  Each shard's probes run on its own probe engine — free
+addresses' bytes cached contiguously in DRAM, scored with grouped
+popcount kernels — so the GIL-held Python fraction per pop is far
+smaller than the old list-walking pool's.  This benchmark measures what that buys over the single-store
 batch pipeline of PR 1, on the paper's synthetic workload, feeding both
 stores the identical key/value stream in identical `put_many` batches.
 
@@ -31,25 +34,16 @@ per-op cost is highest — the regime sharding exists for.
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 import time
 
 import numpy as np
 
-from repro.bench import key_for, make_pnw_store, results_path
+from repro.bench import key_for, make_pnw_store, parse_int_list, results_path
 from repro.workloads import make_workload
 
-
-def shard_list(text: str) -> list[int]:
-    try:
-        shards = [int(piece) for piece in text.split(",")]
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"expected comma-separated integers, got {text!r}"
-        ) from None
-    if not shards or any(n < 1 for n in shards):
-        raise argparse.ArgumentTypeError("shard counts must be >= 1")
-    return shards
+shard_list = functools.partial(parse_int_list, minimum=1)
 
 
 def build_store(old_values, n_clusters, seed, probe_limit, shards):

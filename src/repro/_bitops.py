@@ -27,6 +27,8 @@ __all__ = [
     "popcount_rows",
     "hamming_distance",
     "hamming_rows",
+    "hamming_to_rows",
+    "hamming_cross",
     "pack_bits",
     "unpack_bits",
     "rotate_bits",
@@ -89,6 +91,87 @@ def hamming_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     if a.ndim != 2:
         raise ValueError(f"expected 2-D arrays, got shape {a.shape}")
     return popcount_rows(np.bitwise_xor(a, b))
+
+
+#: Whether this numpy ships the hardware-popcount ufunc (numpy >= 2.0).
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def _as_words(buf: np.ndarray) -> np.ndarray:
+    """Reinterpret packed rows as ``uint64`` words when the layout allows.
+
+    A row width that is a multiple of 8 bytes on a C-contiguous buffer can
+    be viewed as 64-bit words, cutting the element count of a popcount
+    kernel by 8x.  Falls back to the ``uint8`` buffer otherwise (including
+    platforms/slices where the reinterpretation is rejected).
+    """
+    if buf.shape[-1] % 8 == 0 and buf.flags.c_contiguous:
+        try:
+            return buf.view(np.uint64)
+        except ValueError:  # pragma: no cover - exotic strides/alignment
+            pass
+    return buf
+
+
+def hamming_to_rows(rows: np.ndarray, payload: np.ndarray) -> np.ndarray:
+    """Hamming distance of one packed payload to each row of a matrix.
+
+    The probe engine's scoring kernel: ``rows`` is an ``(n, width)``
+    packed ``uint8`` matrix (a contiguous content-cache window) and
+    ``payload`` a ``(width,)`` packed buffer.  Exact integer popcounts —
+    the result equals ``popcount_rows(rows ^ payload)`` element for
+    element — computed with the hardware popcount ufunc over 64-bit words
+    when this numpy provides it.
+    """
+    rows = np.ascontiguousarray(rows, dtype=np.uint8)
+    payload = np.ascontiguousarray(payload, dtype=np.uint8)
+    if rows.ndim != 2:
+        raise ValueError(f"expected a 2-D row matrix, got shape {rows.shape}")
+    if payload.shape != (rows.shape[1],):
+        raise ValueError(
+            f"payload shape {payload.shape} does not match row width "
+            f"({rows.shape[1]},)"
+        )
+    if not _HAS_BITWISE_COUNT:  # pragma: no cover - numpy < 2.0 fallback
+        return popcount_rows(np.bitwise_xor(rows, payload))
+    r = _as_words(rows)
+    p = _as_words(payload)
+    if r.dtype != p.dtype:  # one view succeeded, the other did not
+        r, p = rows, payload  # pragma: no cover - defensive
+    return np.bitwise_count(np.bitwise_xor(r, p)).sum(axis=1, dtype=np.int64)
+
+
+def hamming_cross(rows: np.ndarray, payloads: np.ndarray) -> np.ndarray:
+    """All-pairs Hamming distances between payloads and rows.
+
+    ``rows`` is ``(n, width)`` and ``payloads`` ``(m, width)``; the result
+    is an ``(m, n)`` ``int32`` matrix with ``out[j, i] =
+    hamming_distance(payloads[j], rows[i])`` — the cluster-grouped probe
+    scoring of the batch pop path.  Callers bound the ``m * n * width``
+    intermediate by chunking over payload rows.
+    """
+    rows = np.ascontiguousarray(rows, dtype=np.uint8)
+    payloads = np.ascontiguousarray(payloads, dtype=np.uint8)
+    if rows.ndim != 2 or payloads.ndim != 2:
+        raise ValueError(
+            f"expected 2-D matrices, got {rows.shape} and {payloads.shape}"
+        )
+    if rows.shape[1] != payloads.shape[1]:
+        raise ValueError(
+            f"row width mismatch: {rows.shape[1]} vs {payloads.shape[1]}"
+        )
+    r = _as_words(rows)
+    p = _as_words(payloads)
+    if r.dtype != p.dtype:  # pragma: no cover - defensive
+        r, p = rows, payloads
+    xor = np.bitwise_xor(r[None, :, :], p[:, None, :])
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(xor).sum(axis=2, dtype=np.int32)
+    return (  # pragma: no cover - numpy < 2.0 fallback
+        POPCOUNT_TABLE[xor.view(np.uint8).reshape(*xor.shape[:2], -1)]
+        .sum(axis=2)
+        .astype(np.int32)
+    )
 
 
 def pack_bits(bits: np.ndarray) -> np.ndarray:

@@ -7,12 +7,41 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import argparse
 import os
 from pathlib import Path
 
 from .metrics import ExperimentResult
 
-__all__ = ["render", "save", "report", "results_dir", "results_path"]
+__all__ = [
+    "render",
+    "save",
+    "report",
+    "results_dir",
+    "results_path",
+    "parse_int_list",
+]
+
+
+def parse_int_list(text: str, *, minimum: int | None = None) -> list[int]:
+    """Argparse type for comma-separated integer sweeps.
+
+    Shared by the plain benchmark scripts (batch sizes, shard counts,
+    probe limits) so the parsing and its error messages live in one
+    place.  ``minimum`` rejects values below a floor; the list itself
+    must be non-empty.
+    """
+    try:
+        values = [int(piece) for piece in text.split(",")]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from None
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one integer")
+    if minimum is not None and any(value < minimum for value in values):
+        raise argparse.ArgumentTypeError(f"values must be >= {minimum}")
+    return values
 
 
 def _format_cell(value) -> str:

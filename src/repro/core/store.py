@@ -136,7 +136,7 @@ class PNWStore:
 
         self.index: KeyIndex = self._build_index()
         self.manager = ModelManager(config)
-        self.pool = DynamicAddressPool(1, config.num_buckets)
+        self.pool = self._new_pool(1)
         self.pool.rebuild(
             np.zeros(config.num_buckets, dtype=np.int64),
             np.arange(config.num_buckets),
@@ -165,6 +165,18 @@ class PNWStore:
     def nvm(self) -> SimulatedNVM:
         """The data-zone device (where Fig. 6's writes are counted)."""
         return self.memory.nvm
+
+    def _new_pool(self, n_clusters: int) -> DynamicAddressPool:
+        """A pool wired to this store's device: its probe engine caches
+        free addresses' contents in DRAM (filled through the device's
+        unaccounted ``gather_into`` path) so Hamming probes score
+        contiguous cache rows instead of gathering buckets per pop."""
+        return DynamicAddressPool(
+            n_clusters,
+            self.config.num_buckets,
+            content_reader=self.nvm.gather_into,
+            row_bytes=self.config.bucket_bytes,
+        )
 
     def _encode_pair(self, key: bytes, value: bytes | np.ndarray) -> np.ndarray:
         """Pack a K/V pair into one bucket payload."""
@@ -309,7 +321,7 @@ class PNWStore:
         assert self.manager.model is not None
         free = self.pool.free_addresses()
         n_clusters = self.manager.model.n_clusters
-        self.pool = DynamicAddressPool(n_clusters, self.config.num_buckets)
+        self.pool = self._new_pool(n_clusters)
         if free.size:
             labels = self.manager.labels_for(np.asarray(contents)[free])
             self.pool.rebuild(labels, free)
@@ -454,13 +466,12 @@ class PNWStore:
             orders = None
             clusters = np.zeros(m, dtype=np.int64)
         predict_ns = float(self.manager.predict_ns_total - predict_before) / m
-
-        def scorer(i: int, addrs: np.ndarray) -> np.ndarray:
-            return self.nvm.hamming_many(addrs, payloads[i])
-
         try:
+            # The payload matrix goes straight to the probe engine, which
+            # scores each row against its cluster's DRAM content cache —
+            # no per-request scorer closures, no device gathers per pop.
             addresses, fallbacks = self.pool.get_best_many(
-                clusters, scorer, self.config.probe_limit, orders
+                clusters, payloads, self.config.probe_limit, orders
             )
         except PoolExhaustedError as exc:
             # Commit the prefix the pool did serve — the state a
@@ -730,19 +741,26 @@ class PNWStore:
     ) -> list[OperationReport]:
         """Delete-plus-steered-PUT over a chunk of distinct, present keys.
 
-        The per-key loop preserves the sequential order of every
-        pool-visible event (release before the same key's pop, pops in
-        key order), while predictions are batched up front — valid for
-        the whole chunk because the model cannot retrain before the
-        chunk's last operation, and bucket contents relevant to any probe
-        are untouched until the deferred multi-row flush.
+        The whole pool-visible event sequence — release ``i`` before pop
+        ``i``, pops in key order — runs inside one
+        :meth:`DynamicAddressPool.get_best_many` call with interleaved
+        ``releases``, so the batch path has no per-op pop loop left while
+        preserving the sequential interleaving exactly (a freed address
+        is eligible for its own key's steered PUT and every later one).
+        Predictions are batched up front — valid for the whole chunk
+        because the model cannot retrain before the chunk's last
+        operation, and bucket contents relevant to any probe are
+        untouched until the deferred multi-row flush.  The store-side
+        half of each delete (index removal, flag reset, counters) touches
+        neither the pool nor the data zone, so replaying it after the
+        bulk pop leaves identical state and identical accounting.
         """
         m = len(chunk)
         keys = [key for key, _ in chunk]
         payloads = self._encode_pairs(keys, [value for _, value in chunk])
         # Unaccounted gather of the soon-to-be-freed contents; the
-        # accounted index/NVM traffic happens per-op below, exactly as in
-        # sequential updates.
+        # accounted index/NVM traffic happens per-op in the replay,
+        # exactly as in sequential updates.
         old_addresses = np.array([self.index.peek(key) for key in keys],
                                  dtype=np.int64)
         predict_before = self.manager.predict_ns_total
@@ -760,61 +778,82 @@ class PNWStore:
             float(self.manager.predict_ns_total - predict_before) / (2 * m)
         )
 
+        releases: list[tuple[int, int]] = []
+        for i in range(m):
+            cluster = int(delete_clusters[i])
+            if cluster >= self.pool.n_clusters:
+                cluster = 0
+            releases.append((int(old_addresses[i]), cluster))
+
         new_addresses = np.empty(m, dtype=np.int64)
         fallbacks = np.zeros(m, dtype=bool)
-        delete_reports: list[OperationReport] = []
-        committed = 0
         try:
-            for i in range(m):
-                self.metrics.updates += 1
-                address = int(self.index.delete(keys[i]))
-                self._set_valid(address, False)
-                cluster = int(delete_clusters[i])
-                if cluster >= self.pool.n_clusters:
-                    cluster = 0
-                self.pool.release(address, cluster)
-                self._live_count -= 1
-                self.metrics.deletes += 1
-                delete_reports.append(
-                    OperationReport(
-                        op="delete",
-                        key=keys[i],
-                        address=address,
-                        cluster=cluster,
-                        fallback_used=False,
-                        bit_updates=0,
-                        words_touched=0,
-                        lines_touched=0,
-                        nvm_latency_ns=0.0,
-                        predict_ns=predict_ns,
-                        index_lines=0,
-                        retrained=False,
-                    )
-                )
-                # Replay the PUT-side membership check of the sequential
-                # path (update -> put -> "key in index", always False
-                # here): on an NVM index that lookup is accounted read
-                # traffic, and skipping it would make batched and
-                # sequential runs report different index wear.
-                _ = keys[i] in self.index
-                fallbacks[i] = self.pool.cluster_size(int(put_clusters[i])) == 0
-                new_addresses[i] = self.pool.get_best(
-                    int(put_clusters[i]),
-                    lambda addrs, i=i: self.nvm.hamming_many(addrs, payloads[i]),
-                    self.config.probe_limit,
-                    None if orders is None else orders[i],
-                )
-                committed += 1
+            new_addresses, fallbacks = self.pool.get_best_many(
+                put_clusters, payloads, self.config.probe_limit, orders,
+                releases=releases,
+            )
         except PoolExhaustedError as exc:
+            committed = int(exc.partial_addresses.size)
+            new_addresses[:committed] = exc.partial_addresses
+            fallbacks[:committed] = exc.partial_fallbacks
+            # The failing request's release landed before its pop died,
+            # so its delete half is replayed (and recorded) too.
+            applied = int(getattr(exc, "releases_applied", committed))
+            delete_reports = self._replay_update_deletes(
+                keys, releases, applied, predict_ns
+            )
             exc.chunk_reports = self._commit_update_chunk(
                 keys, payloads, new_addresses, fallbacks, put_clusters,
                 predict_ns, delete_reports, committed,
             )
             raise
+        delete_reports = self._replay_update_deletes(keys, releases, m, predict_ns)
         return self._commit_update_chunk(
             keys, payloads, new_addresses, fallbacks, put_clusters,
             predict_ns, delete_reports, m,
         )
+
+    def _replay_update_deletes(
+        self,
+        keys: list[bytes],
+        releases: list[tuple[int, int]],
+        count: int,
+        predict_ns: float,
+    ) -> list[OperationReport]:
+        """Store-side half of the first ``count`` endurance-update
+        deletes, whose pool-side releases the probe engine already
+        interleaved with the pops: index removal, flag reset, and
+        counters per key, in key order."""
+        reports: list[OperationReport] = []
+        for i in range(count):
+            self.metrics.updates += 1
+            address = int(self.index.delete(keys[i]))
+            self._set_valid(address, False)
+            self._live_count -= 1
+            self.metrics.deletes += 1
+            reports.append(
+                OperationReport(
+                    op="delete",
+                    key=keys[i],
+                    address=address,
+                    cluster=releases[i][1],
+                    fallback_used=False,
+                    bit_updates=0,
+                    words_touched=0,
+                    lines_touched=0,
+                    nvm_latency_ns=0.0,
+                    predict_ns=predict_ns,
+                    index_lines=0,
+                    retrained=False,
+                )
+            )
+            # Replay the PUT-side membership check of the sequential
+            # path (update -> put -> "key in index", always False
+            # here): on an NVM index that lookup is accounted read
+            # traffic, and skipping it would make batched and
+            # sequential runs report different index wear.
+            _ = keys[i] in self.index
+        return reports
 
     def _commit_update_chunk(
         self,
@@ -877,7 +916,7 @@ class PNWStore:
     def crash(self) -> None:
         """Drop every DRAM structure, simulating a power failure."""
         self.manager = ModelManager(self.config)
-        self.pool = DynamicAddressPool(1, self.config.num_buckets)
+        self.pool = self._new_pool(1)
         self.pool.rebuild(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
         if self.config.index_placement == "dram":
             self.index = self._build_index()
@@ -914,9 +953,7 @@ class PNWStore:
         free_mask = np.ones(self.config.num_buckets, dtype=bool)
         free_mask[live] = False
         free = np.flatnonzero(free_mask)
-        self.pool = DynamicAddressPool(
-            self.manager.model.n_clusters, self.config.num_buckets
-        )
+        self.pool = self._new_pool(self.manager.model.n_clusters)
         if free.size:
             self.pool.rebuild(self.manager.labels_for(contents[free]), free)
 

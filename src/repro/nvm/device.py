@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
-from .._bitops import POPCOUNT_TABLE, popcount_rows
+from .._bitops import POPCOUNT_TABLE, hamming_to_rows, popcount_rows
 from ..errors import CapacityError
 from .latency import LatencyModel
 from .stats import WearStats
@@ -204,18 +204,42 @@ class SimulatedNVM:
             )
         return self._data[addresses].copy()
 
+    def gather_into(self, addresses: np.ndarray, out: np.ndarray) -> None:
+        """Unaccounted multi-row gather into a caller-owned DRAM buffer.
+
+        The address pool's content-cache fill path: on ``rebuild`` /
+        ``release`` the pool reads each free address's current bytes into
+        its contiguous cache rows, so later Hamming probes never touch
+        the device.  Writes row ``i`` of ``out`` in place (no per-call
+        allocation) — ``out`` must be ``(len(addresses), bucket_bytes)``
+        ``uint8``.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if addresses.size and not (
+            0 <= int(addresses.min()) and int(addresses.max()) < self.num_buckets
+        ):
+            raise CapacityError(
+                f"addresses out of range [0, {self.num_buckets})"
+            )
+        if out.shape != (addresses.size, self.bucket_bytes) or out.dtype != np.uint8:
+            raise ValueError(
+                f"out buffer {out.shape}/{out.dtype} does not match "
+                f"({addresses.size}, {self.bucket_bytes}) uint8"
+            )
+        np.take(self._data, addresses, axis=0, out=out)
+
     def hamming_many(self, addresses: np.ndarray, payload: np.ndarray) -> np.ndarray:
         """Hamming distance of ``payload`` to each addressed bucket.
 
         Unaccounted: this is the pool's candidate scoring (§IV), which a
         real deployment serves from DRAM-side content metadata rather
-        than NVM reads.
+        than NVM reads.  (The store's hot path now scores the pool's
+        content cache directly; this gather-through-the-device form
+        remains for ad-hoc probing and as the cache's oracle in tests.)
         """
         addresses = np.asarray(addresses, dtype=np.int64)
         payload = self._validate_payload(payload)
-        return popcount_rows(
-            np.bitwise_xor(self._data[addresses], payload[None, :])
-        )
+        return hamming_to_rows(self._data[addresses], payload)
 
     def write(
         self,

@@ -17,7 +17,11 @@ The sharded layer adds exactly two things:
   per-shard pipeline (featurize, predict, Hamming probing, multi-row
   commit) release the GIL, and each shard's pool probe scans a free
   list ``1/N`` the size, so sharding wins twice: less probe work per
-  op and real thread parallelism over it.
+  op and real thread parallelism over it.  Each shard runs its own
+  probe engine — array-backed free lists plus a DRAM content cache of
+  its zone's free buckets, scored with cluster-grouped popcount
+  kernels — which shrinks the GIL-held Python fraction of a pop and
+  lets shard threads overlap almost all of the probe cost.
 * **Aggregation** — cross-shard :class:`WearStats` / ``StoreMetrics``
   merges and whole-store CDFs, with shard-local bucket addresses
   remapped into one global address space (shard ``s`` owns the

@@ -241,6 +241,133 @@ class TestGetBestMany:
         assert pool.total_free == 12
 
 
+class TestProbeEnginePayloads:
+    """The engine path: payload matrices scored against the DRAM content
+    cache must behave exactly like closure scorers over the device."""
+
+    @staticmethod
+    def cached_pool(rng, n_clusters=3, num_addresses=12, width=16):
+        contents = rng.integers(0, 256, (num_addresses, width), dtype=np.uint8)
+
+        def reader(addresses, out):
+            np.take(contents, addresses, axis=0, out=out)
+
+        pool = DynamicAddressPool(
+            n_clusters, num_addresses, content_reader=reader, row_bytes=width
+        )
+        labels = np.arange(num_addresses) % n_clusters
+        pool.rebuild(labels, np.arange(num_addresses))
+        return pool, contents
+
+    @staticmethod
+    def hamming(contents, addrs, payload):
+        return np.unpackbits(
+            contents[np.asarray(addrs)] ^ payload, axis=1
+        ).sum(axis=1)
+
+    def test_get_best_payload_matches_scorer(self, rng):
+        pool, contents = self.cached_pool(rng)
+        twin, _ = self.cached_pool(np.random.default_rng(12345))
+        payload = rng.integers(0, 256, 16, dtype=np.uint8)
+        expected = twin.get_best(
+            1, lambda addrs: self.hamming(contents, addrs, payload), -1
+        )
+        assert pool.get_best(1, payload, -1) == expected
+
+    def test_get_best_many_payloads_match_scorers(self, rng):
+        pool, contents = self.cached_pool(rng)
+        twin, _ = self.cached_pool(np.random.default_rng(12345))
+        payloads = rng.integers(0, 256, (8, 16), dtype=np.uint8)
+        clusters = rng.integers(0, 3, 8)
+        expected, expected_fb = twin.get_best_many(
+            clusters,
+            lambda i, addrs: self.hamming(contents, addrs, payloads[i]),
+            -1,
+        )
+        got, got_fb = pool.get_best_many(clusters, payloads, -1)
+        assert got.tolist() == expected.tolist()
+        assert got_fb.tolist() == expected_fb.tolist()
+        assert pool._free_lists == twin._free_lists
+
+    def test_grouped_requests_score_one_window(self, rng):
+        # All requests in one cluster exercise the cross-distance path.
+        pool, contents = self.cached_pool(rng)
+        twin, _ = self.cached_pool(np.random.default_rng(12345))
+        payloads = rng.integers(0, 256, (4, 16), dtype=np.uint8)
+        clusters = np.zeros(4, dtype=np.int64)
+        expected, _ = twin.get_best_many(
+            clusters,
+            lambda i, addrs: self.hamming(contents, addrs, payloads[i]),
+            -1,
+        )
+        got, _ = pool.get_best_many(clusters, payloads, -1)
+        assert got.tolist() == expected.tolist()
+
+    def test_releases_interleave_before_each_pop(self, rng):
+        pool, contents = self.cached_pool(rng)
+        twin, _ = self.cached_pool(np.random.default_rng(12345))
+        for p in (pool, twin):
+            for _ in range(4):  # drain cluster 0
+                p.get(0, fallback_order=np.array([0]))
+        payloads = rng.integers(0, 256, (2, 16), dtype=np.uint8)
+        # Sequential reference: release then pop, per request.
+        twin.release(0, 0)
+        seq0 = twin.get_best(
+            0, lambda a: self.hamming(contents, a, payloads[0]), -1,
+            fallback_order=np.array([0, 1, 2]),
+        )
+        twin.release(3, 0)
+        seq1 = twin.get_best(
+            0, lambda a: self.hamming(contents, a, payloads[1]), -1,
+            fallback_order=np.array([0, 1, 2]),
+        )
+        got, fallback_used = pool.get_best_many(
+            np.array([0, 0]), payloads, -1,
+            fallback_orders=np.array([[0, 1, 2], [0, 1, 2]]),
+            releases=[(0, 0), (3, 0)],
+        )
+        assert got.tolist() == [seq0, seq1]
+        # The release lands before the empty-cluster check, like the
+        # sequential delete-then-put interleaving.
+        assert not fallback_used.any()
+        assert pool._free_lists == twin._free_lists
+
+    def test_release_fills_cache_row(self, rng):
+        pool, contents = self.cached_pool(rng)
+        addr = pool.get(2)
+        contents[addr] ^= 0xFF  # the "device" wrote while it was live
+        pool.release(addr, 1)
+        addresses, rows = pool.cache_rows(1)
+        position = addresses.tolist().index(addr)
+        assert np.array_equal(rows[position], contents[addr])
+
+    def test_exhaustion_reports_releases_applied(self, rng):
+        pool, contents = self.cached_pool(rng, n_clusters=1, num_addresses=2)
+        pool.get(0)
+        pool.get(0)
+        payloads = rng.integers(0, 256, (3, 16), dtype=np.uint8)
+        with pytest.raises(PoolExhaustedError) as excinfo:
+            pool.get_best_many(
+                np.zeros(3, dtype=np.int64), payloads, -1,
+                releases=[(0, 0), None, None],
+            )
+        # Request 0 popped the address its release recycled; request 1
+        # had no release and died.
+        assert excinfo.value.partial_addresses.tolist() == [0]
+        assert excinfo.value.releases_applied == 2
+
+    def test_payload_without_cache_rejected(self):
+        pool = DynamicAddressPool(2, 8)
+        pool.rebuild(np.zeros(8, dtype=np.int64), np.arange(8))
+        with pytest.raises(ValueError, match="content cache"):
+            pool.get_best(0, np.zeros(16, dtype=np.uint8), -1)
+
+    def test_payload_width_mismatch_rejected(self, rng):
+        pool, _ = self.cached_pool(rng)
+        with pytest.raises(ValueError, match="width"):
+            pool.get_best(0, np.zeros(7, dtype=np.uint8), -1)
+
+
 class TestInvariantsProperty:
     @given(st.lists(st.sampled_from(["get", "release"]), max_size=60))
     @settings(max_examples=30, deadline=None)

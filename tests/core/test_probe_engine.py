@@ -1,0 +1,252 @@
+"""Probe-engine pins: cache/device synchrony and old-pool oracle.
+
+The engine replaced the pool's ``list[list[int]]`` free lists and
+per-candidate scorer callbacks with array-backed FIFOs plus a DRAM
+content cache.  Two things must hold forever:
+
+* the cache is a byte-exact mirror of the device for every free address,
+  across any interleaving of rebuild / release / pop / crash-recover;
+* the pop *sequence* (addresses and free-list order) is identical to the
+  pre-engine list-based implementation scoring candidates through the
+  device one pop at a time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PNWConfig, PNWStore
+from repro.core import DynamicAddressPool
+from repro.errors import PoolExhaustedError
+
+from tests.conftest import clustered_values
+
+
+class ListPoolOracle:
+    """The pre-engine pool: plain Python lists, scorer callbacks, device
+    gathers per pop.  Vendored as the behavioral oracle."""
+
+    def __init__(self, n_clusters: int, num_addresses: int) -> None:
+        self.n_clusters = n_clusters
+        self.free_lists: list[list[int]] = [[] for _ in range(n_clusters)]
+        self.available = np.zeros(num_addresses, dtype=bool)
+
+    def rebuild(self, labels, free_addresses) -> None:
+        for free_list in self.free_lists:
+            free_list.clear()
+        self.available[:] = False
+        for address, label in zip(free_addresses, labels):
+            self.free_lists[label].append(int(address))
+            self.available[address] = True
+
+    def release(self, address: int, cluster: int) -> None:
+        self.free_lists[cluster].append(int(address))
+        self.available[address] = True
+
+    def get_best(self, cluster, scorer, probe_limit, fallback_order=None):
+        candidates = (
+            [cluster] + [c for c in range(self.n_clusters) if c != cluster]
+            if fallback_order is None
+            else [int(c) for c in fallback_order]
+        )
+        for candidate in candidates:
+            free_list = self.free_lists[candidate]
+            if not free_list:
+                continue
+            if probe_limit == 0:
+                best = 0
+            else:
+                probes = free_list if probe_limit < 0 else free_list[:probe_limit]
+                best = int(np.argmin(scorer(np.asarray(probes, dtype=np.int64))))
+            address = free_list.pop(best)
+            self.available[address] = False
+            return address
+        raise PoolExhaustedError("oracle exhausted")
+
+
+def reader_over(contents: np.ndarray):
+    def reader(addresses, out):
+        np.take(contents, addresses, axis=0, out=out)
+
+    return reader
+
+
+def assert_cache_synced(pool: DynamicAddressPool, contents: np.ndarray) -> None:
+    """Every cluster's cache rows must equal the device bytes of its
+    addresses, row for row, and cover exactly the free addresses."""
+    seen: list[int] = []
+    for cluster in range(pool.n_clusters):
+        addresses, rows = pool.cache_rows(cluster)
+        assert np.array_equal(rows, contents[addresses])
+        seen.extend(addresses.tolist())
+    assert sorted(seen) == pool.free_addresses().tolist()
+
+
+class TestOracleEquivalence:
+    """Randomized drives: the engine's pop sequence must match the old
+    list-based implementation op for op."""
+
+    N_ADDRESSES = 48
+    WIDTH = 16
+    N_CLUSTERS = 4
+
+    def drive(self, seed: int, probe_limit: int) -> None:
+        rng = np.random.default_rng(seed)
+        contents = rng.integers(
+            0, 256, (self.N_ADDRESSES, self.WIDTH), dtype=np.uint8
+        )
+        pool = DynamicAddressPool(
+            self.N_CLUSTERS,
+            self.N_ADDRESSES,
+            content_reader=reader_over(contents),
+            row_bytes=self.WIDTH,
+        )
+        oracle = ListPoolOracle(self.N_CLUSTERS, self.N_ADDRESSES)
+        labels = rng.integers(0, self.N_CLUSTERS, self.N_ADDRESSES)
+        pool.rebuild(labels, np.arange(self.N_ADDRESSES))
+        oracle.rebuild(labels, np.arange(self.N_ADDRESSES))
+
+        held: list[int] = []
+        for step in range(120):
+            op = rng.random()
+            if op < 0.55 and pool.total_free:
+                # Single or batched pops, grouped clusters included.
+                n = int(rng.integers(1, min(6, pool.total_free) + 1))
+                clusters = rng.integers(0, self.N_CLUSTERS, n)
+                payloads = rng.integers(0, 256, (n, self.WIDTH), dtype=np.uint8)
+                orders = np.array(
+                    [rng.permutation(self.N_CLUSTERS) for _ in range(n)]
+                )
+                expected = [
+                    oracle.get_best(
+                        int(clusters[i]),
+                        lambda addrs, i=i: np.unpackbits(
+                            contents[addrs] ^ payloads[i], axis=1
+                        ).sum(axis=1),
+                        probe_limit,
+                        orders[i],
+                    )
+                    for i in range(n)
+                ]
+                got, _ = pool.get_best_many(clusters, payloads, probe_limit, orders)
+                assert got.tolist() == expected
+                held.extend(expected)
+            elif op < 0.8 and held:
+                address = held.pop(int(rng.integers(0, len(held))))
+                # The device wrote this bucket while it was live.
+                contents[address] = rng.integers(0, 256, self.WIDTH, dtype=np.uint8)
+                cluster = int(rng.integers(0, self.N_CLUSTERS))
+                pool.release(address, cluster)
+                oracle.release(address, cluster)
+            elif op < 0.9:
+                free = pool.free_addresses()
+                labels = rng.integers(0, self.N_CLUSTERS, free.size)
+                pool.rebuild(labels, free)
+                oracle.rebuild(labels, free)
+            assert pool._free_lists == oracle.free_lists
+            assert np.array_equal(pool._available, oracle.available)
+            assert_cache_synced(pool, contents)
+
+    @pytest.mark.parametrize("probe_limit", [-1, 4, 0])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_randomized_drive_matches_oracle(self, seed, probe_limit):
+        self.drive(seed, probe_limit)
+
+
+class TestCacheSyncProperty:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["pop", "release", "rebuild"]),
+                      st.integers(0, 10 ** 6)),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cache_mirrors_device(self, ops):
+        """Any interleaving of pops, releases (after the device rewrote
+        the bucket), and rebuilds keeps cache == device for every free
+        address."""
+        rng = np.random.default_rng(99)
+        contents = rng.integers(0, 256, (24, 8), dtype=np.uint8)
+        pool = DynamicAddressPool(
+            3, 24, content_reader=reader_over(contents), row_bytes=8
+        )
+        pool.rebuild(np.arange(24) % 3, np.arange(24))
+        held: list[int] = []
+        for op, salt in ops:
+            r = np.random.default_rng(salt)
+            if op == "pop" and pool.total_free:
+                payload = r.integers(0, 256, 8, dtype=np.uint8)
+                held.append(pool.get_best(int(r.integers(0, 3)), payload, -1))
+            elif op == "release" and held:
+                address = held.pop()
+                contents[address] = r.integers(0, 256, 8, dtype=np.uint8)
+                pool.release(address, int(r.integers(0, 3)))
+            elif op == "rebuild":
+                free = pool.free_addresses()
+                pool.rebuild(r.integers(0, 3, free.size), free)
+            assert_cache_synced(pool, contents)
+
+
+class TestStoreCacheSync:
+    """The store upholds the cache contract end to end: across puts,
+    deletes, updates, retrains, and crash-recovery, the pool's cached
+    rows always equal the data zone's bytes."""
+
+    @staticmethod
+    def assert_store_synced(store: PNWStore) -> None:
+        assert store.pool.has_content_cache
+        assert_cache_synced(store.pool, np.asarray(store.nvm.contents))
+
+    def test_put_delete_update_interleavings(self, rng):
+        config = PNWConfig(
+            num_buckets=96, value_bytes=8, n_clusters=3, seed=3,
+            n_init=1, max_iter=20, retrain_check_interval=16,
+            probe_limit=-1,
+        )
+        store = PNWStore(config)
+        store.warm_up(clustered_values(rng, 96, 8))
+        self.assert_store_synced(store)
+        live: list[bytes] = []
+        op_rng = np.random.default_rng(17)
+        for step in range(8):
+            n = int(op_rng.integers(2, 8))
+            fresh = [
+                (b"k%d-%d" % (step, j),
+                 op_rng.integers(0, 256, 8, dtype=np.uint8).tobytes())
+                for j in range(n)
+            ]
+            store.put_many(fresh)
+            live.extend(key for key, _ in fresh)
+            self.assert_store_synced(store)
+            if len(live) > 4:
+                victims = [live.pop(0) for _ in range(2)]
+                store.delete_many(victims)
+                self.assert_store_synced(store)
+            if live:
+                store.update_many(
+                    [(live[0], op_rng.integers(0, 256, 8, dtype=np.uint8).tobytes())]
+                )
+                self.assert_store_synced(store)
+        store.retrain()
+        self.assert_store_synced(store)
+
+    def test_crash_recover_resyncs(self, rng):
+        config = PNWConfig(
+            num_buckets=64, value_bytes=8, n_clusters=3, seed=5,
+            n_init=1, max_iter=20, probe_limit=-1,
+        )
+        store = PNWStore(config)
+        store.warm_up(clustered_values(rng, 64, 8))
+        store.put_many(
+            [(b"key%d" % i, b"v%d" % i) for i in range(20)]
+        )
+        store.crash()
+        store.recover()
+        self.assert_store_synced(store)
+        # And the recovered pool keeps probing correctly.
+        store.put_many([(b"after%d" % i, b"w%d" % i) for i in range(8)])
+        self.assert_store_synced(store)

@@ -220,6 +220,27 @@ class TestShardedOps:
         store.close()
 
 
+class TestPerShardProbeEngines:
+    """Each shard owns an independent probe engine whose DRAM content
+    cache must mirror that shard's own zone (and only it)."""
+
+    def test_shard_caches_mirror_their_zones(self):
+        store = warmed(make_config(probe_limit=-1))
+        rng = np.random.default_rng(11)
+        store.put_many(batch_of(rng, 40))
+        store.delete_many([key for key, _ in batch_of(rng, 10)])
+        for shard in store.stores:
+            contents = np.asarray(shard.nvm.contents)
+            assert shard.pool.has_content_cache
+            free: list[int] = []
+            for cluster in range(shard.pool.n_clusters):
+                addresses, rows = shard.pool.cache_rows(cluster)
+                assert np.array_equal(rows, contents[addresses])
+                free.extend(addresses.tolist())
+            assert sorted(free) == shard.pool.free_addresses().tolist()
+        store.close()
+
+
 class TestAggregation:
     def test_wear_and_metrics_merge_across_shards(self):
         store = warmed(make_config())

@@ -12,8 +12,10 @@ from repro._bitops import (
     array_to_bytes,
     buffer_to_int,
     bytes_to_array,
+    hamming_cross,
     hamming_distance,
     hamming_rows,
+    hamming_to_rows,
     int_to_buffer,
     pack_bits,
     popcount,
@@ -98,6 +100,50 @@ class TestHamming:
             )
         with pytest.raises(ValueError, match="2-D"):
             hamming_rows(np.zeros(4, dtype=np.uint8), np.zeros(4, dtype=np.uint8))
+
+
+class TestProbeKernels:
+    """The probe engine's scoring kernels must reproduce the table-based
+    popcounts exactly — both the 64-bit-word fast path (widths divisible
+    by 8) and the byte fallback, including on row-offset matrix views."""
+
+    @pytest.mark.parametrize("width", [8, 16, 12, 5, 64])
+    def test_hamming_to_rows_matches_table(self, rng, width):
+        rows = rng.integers(0, 256, (17, width), dtype=np.uint8)
+        payload = rng.integers(0, 256, width, dtype=np.uint8)
+        expected = popcount_rows(np.bitwise_xor(rows, payload))
+        assert hamming_to_rows(rows, payload).tolist() == expected.tolist()
+
+    def test_hamming_to_rows_on_window_view(self, rng):
+        backing = rng.integers(0, 256, (40, 16), dtype=np.uint8)
+        payload = rng.integers(0, 256, 16, dtype=np.uint8)
+        window = backing[7:29]  # odd row offset of a C-contiguous base
+        expected = popcount_rows(np.bitwise_xor(window, payload))
+        assert hamming_to_rows(window, payload).tolist() == expected.tolist()
+
+    def test_hamming_to_rows_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="2-D"):
+            hamming_to_rows(np.zeros(8, dtype=np.uint8), np.zeros(8, dtype=np.uint8))
+        with pytest.raises(ValueError, match="row width"):
+            hamming_to_rows(
+                np.zeros((2, 8), dtype=np.uint8), np.zeros(4, dtype=np.uint8)
+            )
+
+    @pytest.mark.parametrize("width", [8, 16, 11])
+    def test_hamming_cross_matches_pairwise(self, rng, width):
+        rows = rng.integers(0, 256, (9, width), dtype=np.uint8)
+        payloads = rng.integers(0, 256, (5, width), dtype=np.uint8)
+        got = hamming_cross(rows, payloads)
+        assert got.shape == (5, 9)
+        for j in range(5):
+            for i in range(9):
+                assert got[j, i] == hamming_distance(payloads[j], rows[i])
+
+    def test_hamming_cross_rejects_mismatch(self):
+        with pytest.raises(ValueError, match="width mismatch"):
+            hamming_cross(
+                np.zeros((2, 8), dtype=np.uint8), np.zeros((2, 4), dtype=np.uint8)
+            )
 
 
 class TestPackUnpack:
