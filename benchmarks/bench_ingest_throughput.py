@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Coalesced single-op ingestion vs hand-batched PUT throughput.
+
+The IngestQueue accepts one op at a time, coalesces pending ops into
+per-shard batches under a size/latency-deadline policy, and drains them
+through the store's batch pipelines.  This benchmark measures the tax of
+that convenience: ops/sec of single ``queue.put`` submissions (resolved
+futures included) against direct ``put_many`` calls of the same batch
+size, plus a deadline sweep showing how the latency bound trades against
+throughput.  At the end it verifies the coalesced store's NVM state is
+byte-identical to the hand-batched store's.
+
+Run:
+
+    PYTHONPATH=src python benchmarks/bench_ingest_throughput.py [--quick]
+
+Like the other plain scripts (``bench_batch_throughput``,
+``bench_shard_scaling``), this is CI-smokeable with ``--quick`` and
+gates on ``--min-ratio`` (coalesced / hand-batched, default 0.8).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro import IngestQueue
+from repro.bench import key_for, make_pnw_store, results_path
+from repro.shard import ShardedPNWStore
+from repro.workloads import make_workload
+
+
+def build_store(old_values: np.ndarray, args) -> object:
+    store = make_pnw_store(
+        old_values.shape[0], old_values.shape[1], args.n_clusters,
+        seed=args.seed, probe_limit=args.probe_limit, shards=args.shards,
+    )
+    store.warm_up(old_values)
+    return store
+
+
+def snapshots(store) -> list[np.ndarray]:
+    if isinstance(store, ShardedPNWStore):
+        return [shard.nvm.snapshot() for shard in store.stores]
+    return [store.nvm.snapshot()]
+
+
+def run_batched(store, keys, values, batch_size: int) -> float:
+    started = time.perf_counter()
+    for start in range(0, len(keys), batch_size):
+        store.put_many(
+            list(zip(keys[start : start + batch_size],
+                     values[start : start + batch_size]))
+        )
+    return time.perf_counter() - started
+
+
+def run_coalesced(store, keys, values, batch_size: int,
+                  max_delay: float) -> float:
+    started = time.perf_counter()
+    with IngestQueue(store, max_batch=batch_size, max_delay=max_delay) as q:
+        futures = [q.put(key, value) for key, value in zip(keys, values)]
+        q.flush()
+        for future in futures:
+            future.result()
+    return time.perf_counter() - started
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small CI-smoke sizes (a few thousand ops)",
+    )
+    parser.add_argument("--workload", default="normal")
+    parser.add_argument("--batch-size", type=int, default=256,
+                        help="max_batch of the queue and the hand-batched "
+                             "put_many size it is compared against")
+    parser.add_argument("--n-clusters", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--probe-limit", type=int, default=64)
+    parser.add_argument("--shards", type=int, default=1,
+                        help="hash-partition the zone; the queue groups "
+                             "ops per shard before dispatch")
+    parser.add_argument(
+        "--deadlines", default="0.001,0.01,0.1",
+        help="comma-separated max_delay sweep (seconds) for the "
+             "deadline table",
+    )
+    parser.add_argument(
+        "--min-ratio", type=float, default=0.8,
+        help="exit non-zero unless coalesced throughput reaches this "
+             "fraction of the hand-batched pipeline",
+    )
+    args = parser.parse_args(argv)
+
+    num_buckets = 4096 if args.quick else 16384
+    n_ops = 2048 if args.quick else 8192
+    batch_size = args.batch_size
+    deadlines = [float(piece) for piece in args.deadlines.split(",")]
+
+    workload = make_workload(args.workload, seed=args.seed)
+    old_values = workload.generate(num_buckets)
+    new_values = np.vstack(list(workload.batches(n_ops, batch_size)))
+    keys = [key_for(i) for i in range(n_ops)]
+
+    lines = [f"workload={args.workload}  zone={num_buckets} buckets x "
+             f"{old_values.shape[1]}B values  ops={n_ops}  "
+             f"batch={batch_size}  K={args.n_clusters}  "
+             f"probe_limit={args.probe_limit}  shards={args.shards}"]
+    print(lines[0])
+
+    batched_store = build_store(old_values, args)
+    batched_seconds = run_batched(batched_store, keys, new_values, batch_size)
+    batched_ops = n_ops / batched_seconds
+    lines.append(f"{'hand-batched put_many':>24}: {batched_ops:10.0f} ops/s   "
+                 f"(baseline)")
+    print(lines[-1])
+    reference = snapshots(batched_store)
+
+    # Headline: a huge deadline so coalescing is purely size-triggered —
+    # the deterministic regime the equivalence tests pin.
+    coalesced_store = build_store(old_values, args)
+    coalesced_seconds = run_coalesced(
+        coalesced_store, keys, new_values, batch_size, max_delay=60.0
+    )
+    coalesced_ops = n_ops / coalesced_seconds
+    ratio = batched_seconds / coalesced_seconds
+    identical = all(
+        np.array_equal(snap, ref)
+        for snap, ref in zip(snapshots(coalesced_store), reference)
+    )
+    lines.append(f"{'coalesced singles':>24}: {coalesced_ops:10.0f} ops/s   "
+                 f"{ratio:5.2f}x of batched   state-identical={identical}")
+    print(lines[-1])
+    if not identical:
+        print("ERROR: coalesced NVM state diverged from hand-batched",
+              file=sys.stderr)
+        return 1
+
+    lines.append("deadline sweep (max_delay -> coalesced throughput):")
+    print(lines[-1])
+    for max_delay in deadlines:
+        store = build_store(old_values, args)
+        seconds = run_coalesced(store, keys, new_values, batch_size, max_delay)
+        lines.append(f"{'max_delay=' + format(max_delay, 'g') + 's':>24}: "
+                     f"{n_ops / seconds:10.0f} ops/s")
+        print(lines[-1])
+
+    saved = results_path("bench-ingest-throughput")
+    saved.write_text("\n".join(lines) + "\n")
+    print(f"saved {saved}")
+
+    if args.min_ratio is not None and ratio < args.min_ratio:
+        print(f"ERROR: coalesced throughput is {ratio:.2f}x of "
+              f"hand-batched, below the required {args.min_ratio:.2f}x",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

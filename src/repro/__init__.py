@@ -37,6 +37,8 @@ from .errors import (
     PoolExhaustedError,
     ReproError,
 )
+from .engine import MutationEngine
+from .ingest import IngestQueue
 from .ml import PCA, KMeans, MiniBatchKMeans, choose_k
 from .nvm import HybridMemory, LatencyModel, SimulatedNVM, WearStats
 from .shard import ShardedPNWStore, make_store
@@ -60,6 +62,8 @@ __all__ = [
     "StoreMetrics",
     "DynamicAddressPool",
     "ModelManager",
+    "MutationEngine",
+    "IngestQueue",
     "KMeans",
     "MiniBatchKMeans",
     "PCA",

@@ -49,6 +49,18 @@ class PNWConfig:
         started empty (a store warmed with ``warm_up`` trains immediately).
     retrain_check_interval:
         How many mutations between load-factor checks.
+    refresh_mode:
+        How a retrain triggered on an already-trained store refreshes
+        the model.  ``"full"`` (the paper's Algorithm 1) refits the
+        featurizer and K-Means from scratch; ``"incremental"`` keeps the
+        fitted featurizer and nudges the existing centroids with
+        mini-batch K-Means (``MiniBatchKMeans.partial_fit``, §V-C's
+        retraining made incremental), which never changes ``n_clusters``
+        — so the pool rebuild stays consistent — and avoids stalling the
+        write path on a full refit.  The *first* training (and crash
+        recovery) is always full.
+    refresh_batch_size:
+        Mini-batch size of one incremental refresh pass over the zone.
     probe_limit:
         Free-list candidates scored per PUT to find the minimum-Hamming
         target within the predicted cluster (§IV).  ``0`` degrades to a
@@ -87,6 +99,8 @@ class PNWConfig:
     load_factor: float = 0.9
     auto_train_fraction: float = 0.1
     retrain_check_interval: int = 128
+    refresh_mode: str = "full"
+    refresh_batch_size: int = 256
     probe_limit: int = 64
     n_init: int = 2
     max_iter: int = 50
@@ -124,6 +138,15 @@ class PNWConfig:
         if not 0.0 <= self.auto_train_fraction <= 1.0:
             raise ConfigError(
                 f"auto_train_fraction must be in [0, 1], got {self.auto_train_fraction}"
+            )
+        if self.refresh_mode not in ("full", "incremental"):
+            raise ConfigError(
+                f"refresh_mode must be 'full' or 'incremental', "
+                f"got {self.refresh_mode!r}"
+            )
+        if self.refresh_batch_size < 1:
+            raise ConfigError(
+                f"refresh_batch_size must be >= 1, got {self.refresh_batch_size}"
             )
         if self.shards < 1:
             raise ConfigError(f"shards must be >= 1, got {self.shards}")

@@ -15,7 +15,7 @@ import time
 import numpy as np
 
 from ..errors import NotFittedError
-from ..ml.kmeans import KMeans
+from ..ml.kmeans import KMeans, MiniBatchKMeans
 from .config import PNWConfig
 from .featurizer import Featurizer, make_featurizer
 
@@ -31,6 +31,7 @@ class ModelManager:
         self.featurizer: Featurizer | None = None
         self.model_version = 0
         self.train_count = 0
+        self.refresh_count = 0
         self.predict_count = 0
         self.predict_ns_total = 0
         self.last_train_seconds = 0.0
@@ -48,7 +49,21 @@ class ModelManager:
         ``rows`` is the packed ``(n, bucket_bytes)`` matrix of bucket
         contents.  A fresh featurizer is fitted alongside the model so PCA
         axes track the current data distribution.
+
+        With ``refresh_mode="incremental"`` a *retrain* of an
+        already-trained manager is routed through :meth:`refresh`
+        instead: the load-factor policy's periodic retrains (§V-C) then
+        nudge the existing centroids with mini-batch K-Means rather than
+        refitting from scratch, so they never stall the write path on a
+        full Lloyd run.  The first training is always full.
         """
+        if (
+            self.config.refresh_mode == "incremental"
+            and self.model is not None
+            and self.featurizer is not None
+        ):
+            self.refresh(rows)
+            return
         rows = np.atleast_2d(np.ascontiguousarray(rows, dtype=np.uint8))
         n_clusters = min(self.config.n_clusters, rows.shape[0])
         started = time.perf_counter()
@@ -71,6 +86,36 @@ class ModelManager:
         self.model = model
         self.model_version += 1
         self.train_count += 1
+
+    def refresh(self, rows: np.ndarray) -> None:
+        """Incrementally refresh the fitted model on the zone's contents.
+
+        One deterministic mini-batch pass (``MiniBatchKMeans.partial_fit``
+        over consecutive ``refresh_batch_size`` slices, warm-started from
+        the current centroids) replaces the full Lloyd refit.  The
+        featurizer is *not* refit — PCA axes stay frozen so the refreshed
+        centroids live in the same feature space as every cached
+        prediction — and ``n_clusters`` cannot change, so the caller's
+        pool rebuild keeps one free list per existing cluster.
+        """
+        if self.model is None or self.featurizer is None:
+            raise NotFittedError("refresh() needs a trained model; call train()")
+        rows = np.atleast_2d(np.ascontiguousarray(rows, dtype=np.uint8))
+        started = time.perf_counter()
+        features = self.featurizer.transform_many(rows)
+        refresher = MiniBatchKMeans(
+            self.model.n_clusters,
+            batch_size=self.config.refresh_batch_size,
+            seed=self.config.seed,
+        )
+        refresher.warm_start(self.model.cluster_centers_)
+        batch = self.config.refresh_batch_size
+        for start in range(0, features.shape[0], batch):
+            refresher.partial_fit(features[start : start + batch])
+        self.model.cluster_centers_ = refresher.cluster_centers_
+        self.last_train_seconds = time.perf_counter() - started
+        self.model_version += 1
+        self.refresh_count += 1
 
     def labels_for(self, rows: np.ndarray) -> np.ndarray:
         """Cluster labels for many buckets (pool rebuilds)."""

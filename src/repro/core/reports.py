@@ -1,0 +1,82 @@
+"""Operation reports and counters shared by the store and the engine.
+
+These types used to live inside ``core/store.py``; they sit in their own
+module now so the staged mutation pipeline (:mod:`repro.engine`) can
+build reports without importing the store (which itself imports the
+engine).  ``repro.core.store`` re-exports both names, so existing
+imports keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["OperationReport", "StoreMetrics"]
+
+
+@dataclass(frozen=True)
+class OperationReport:
+    """Cost breakdown of one mutating store operation."""
+
+    op: str
+    key: bytes
+    address: int
+    cluster: int
+    fallback_used: bool
+    bit_updates: int
+    words_touched: int
+    lines_touched: int
+    nvm_latency_ns: float
+    predict_ns: float
+    index_lines: int
+    retrained: bool
+
+    @property
+    def total_latency_ns(self) -> float:
+        """Modeled NVM time plus measured prediction time — the paper's
+        end-to-end write latency decomposition (§VI-E)."""
+        return self.nvm_latency_ns + self.predict_ns
+
+
+@dataclass
+class StoreMetrics:
+    """Operation counters for one store instance."""
+
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    updates: int = 0
+    retrains: int = 0
+    fallbacks: int = 0
+    reports: list[OperationReport] = field(default_factory=list)
+    keep_reports: bool = False
+
+    def record(self, report: OperationReport) -> None:
+        if self.keep_reports:
+            self.reports.append(report)
+
+    @classmethod
+    def merge(cls, parts: Iterable["StoreMetrics"]) -> "StoreMetrics":
+        """Sum several stores' counters into one merged snapshot.
+
+        The sharded store keeps one :class:`StoreMetrics` per shard; this
+        is the whole-store view.  Kept reports are concatenated part by
+        part (shard order, each shard's own chronological order) — a
+        per-shard timeline, not a global one, because concurrent shard
+        pipelines have no cross-shard operation order.  The result is a
+        snapshot: it does not track the parts afterwards.
+        """
+        parts = list(parts)
+        if not parts:
+            raise ValueError("merge() needs at least one StoreMetrics")
+        merged = cls(keep_reports=any(part.keep_reports for part in parts))
+        for part in parts:
+            merged.puts += part.puts
+            merged.gets += part.gets
+            merged.deletes += part.deletes
+            merged.updates += part.updates
+            merged.retrains += part.retrains
+            merged.fallbacks += part.fallbacks
+            merged.reports.extend(part.reports)
+        return merged

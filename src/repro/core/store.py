@@ -11,6 +11,14 @@ Algorithm 3: reset the entry's flag, re-label the freed address by the
 data it still holds, and recycle it into the pool.  UPDATE follows the
 endurance mode by default (DELETE + steered PUT, §V-B3).
 
+Every mutation executes through the staged write-path engine
+(:mod:`repro.engine`): the batch entry points here are thin delegates
+to one :class:`~repro.engine.pipeline.MutationEngine` whose
+plan → steer → commit → account stages implement the pipeline once for
+PUT, UPDATE, and DELETE alike.  The store keeps what the engine drives:
+component construction, the validity bitmap, the retrain policy, and
+crash recovery.
+
 A per-bucket validity bitmap is kept in a small dedicated NVM region —
 the paper's "flag bit ... for deleting a K/V pair from the data zone"
 (§V-A3) — which is what makes crash recovery of the DRAM-index
@@ -20,17 +28,12 @@ model, and pool purely from NVM state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Iterable
 
 import numpy as np
 
-from ..errors import (
-    DuplicateKeyError,
-    KeyNotFoundError,
-    PoolExhaustedError,
-    ReproError,
-)
+from ..engine.pipeline import MutationEngine
+from ..errors import ReproError
 from ..index.base import KeyIndex
 from ..index.dram_hash import DRAMHashIndex
 from ..index.path_hashing import PathHashingIndex
@@ -39,75 +42,9 @@ from ..nvm.hybrid import HybridMemory
 from .address_pool import DynamicAddressPool
 from .config import PNWConfig
 from .model_manager import ModelManager
+from .reports import OperationReport, StoreMetrics
 
 __all__ = ["PNWStore", "OperationReport", "StoreMetrics"]
-
-
-@dataclass(frozen=True)
-class OperationReport:
-    """Cost breakdown of one mutating store operation."""
-
-    op: str
-    key: bytes
-    address: int
-    cluster: int
-    fallback_used: bool
-    bit_updates: int
-    words_touched: int
-    lines_touched: int
-    nvm_latency_ns: float
-    predict_ns: float
-    index_lines: int
-    retrained: bool
-
-    @property
-    def total_latency_ns(self) -> float:
-        """Modeled NVM time plus measured prediction time — the paper's
-        end-to-end write latency decomposition (§VI-E)."""
-        return self.nvm_latency_ns + self.predict_ns
-
-
-@dataclass
-class StoreMetrics:
-    """Operation counters for one store instance."""
-
-    puts: int = 0
-    gets: int = 0
-    deletes: int = 0
-    updates: int = 0
-    retrains: int = 0
-    fallbacks: int = 0
-    reports: list[OperationReport] = field(default_factory=list)
-    keep_reports: bool = False
-
-    def record(self, report: OperationReport) -> None:
-        if self.keep_reports:
-            self.reports.append(report)
-
-    @classmethod
-    def merge(cls, parts: Iterable["StoreMetrics"]) -> "StoreMetrics":
-        """Sum several stores' counters into one merged snapshot.
-
-        The sharded store keeps one :class:`StoreMetrics` per shard; this
-        is the whole-store view.  Kept reports are concatenated part by
-        part (shard order, each shard's own chronological order) — a
-        per-shard timeline, not a global one, because concurrent shard
-        pipelines have no cross-shard operation order.  The result is a
-        snapshot: it does not track the parts afterwards.
-        """
-        parts = list(parts)
-        if not parts:
-            raise ValueError("merge() needs at least one StoreMetrics")
-        merged = cls(keep_reports=any(part.keep_reports for part in parts))
-        for part in parts:
-            merged.puts += part.puts
-            merged.gets += part.gets
-            merged.deletes += part.deletes
-            merged.updates += part.updates
-            merged.retrains += part.retrains
-            merged.fallbacks += part.fallbacks
-            merged.reports.extend(part.reports)
-        return merged
 
 
 class PNWStore:
@@ -142,6 +79,7 @@ class PNWStore:
             np.arange(config.num_buckets),
         )
         self.metrics = StoreMetrics()
+        self.engine = MutationEngine(self)
         self._live_count = 0
         self._mutations_since_check = 0
 
@@ -177,46 +115,6 @@ class PNWStore:
             content_reader=self.nvm.gather_into,
             row_bytes=self.config.bucket_bytes,
         )
-
-    def _encode_pair(self, key: bytes, value: bytes | np.ndarray) -> np.ndarray:
-        """Pack a K/V pair into one bucket payload."""
-        return self._encode_pairs([self._normalize(key)], [value])[0]
-
-    def _encode_pairs(
-        self, keys: list[bytes], values: list[bytes | np.ndarray]
-    ) -> np.ndarray:
-        """Pack normalized keys and their values into an ``(n, bucket_bytes)``
-        payload matrix — the single-matrix featurizer input of the batch
-        pipeline.  Values are validated up front, so an oversized value
-        rejects the batch before anything is written."""
-        value_bytes = self.config.value_bytes
-        self._validate_values(values)
-        parts: list[bytes] = []
-        for key, value in zip(keys, values):
-            if isinstance(value, np.ndarray):
-                value = value.tobytes()
-            parts.append(key)
-            parts.append(value.ljust(value_bytes, b"\x00"))
-        return (
-            np.frombuffer(b"".join(parts), dtype=np.uint8)
-            .reshape(len(keys), self.config.bucket_bytes)
-            .copy()
-        )
-
-    def _validate_values(self, values: list[bytes | np.ndarray]) -> None:
-        """Reject oversized values without materialising anything.
-
-        Batch entry points run this over the *whole* batch before the
-        first mutation, so a bad value anywhere — even past a chunk
-        boundary — rejects the batch with the store untouched.
-        """
-        value_bytes = self.config.value_bytes
-        for value in values:
-            size = value.nbytes if isinstance(value, np.ndarray) else len(value)
-            if size > value_bytes:
-                raise ValueError(
-                    f"value of {size} bytes exceeds bucket size {value_bytes}"
-                )
 
     def _normalize(self, key: bytes) -> bytes:
         return KeyIndex.normalize_key(key, self.config.key_bytes)
@@ -315,6 +213,10 @@ class PNWStore:
         Live buckets stay out of the pool; free buckets are re-filed under
         their fresh labels.  The hash index is untouched — "we do not need
         to move or change anything in the hash table on NVM" (§V-C).
+        With ``refresh_mode="incremental"`` a trained model is refreshed
+        in place by mini-batch K-Means (same ``n_clusters``) instead of
+        refit from scratch, so the pool rebuild is the only full-zone
+        pass left on the retrain path.
         """
         contents = self.nvm.contents
         self.manager.train(np.asarray(contents))
@@ -338,7 +240,7 @@ class PNWStore:
         return False
 
     # ------------------------------------------------------------------ #
-    # K/V operations                                                      #
+    # K/V operations (thin delegates to the staged engine)                #
     # ------------------------------------------------------------------ #
 
     def put(self, key: bytes, value: bytes | np.ndarray) -> OperationReport:
@@ -357,13 +259,13 @@ class PNWStore:
     ) -> list[OperationReport]:
         """Batched PUT: vectorized Algorithm 2 over many K/V pairs.
 
-        The pipeline featurizes the whole batch as one matrix, predicts
+        The engine featurizes the whole batch as one matrix, predicts
         every cluster in one K-Means call, bulk-pops best-match addresses
         from the pool, and commits the data-comparison writes through the
         device's multi-row path — while leaving the store byte-identical
         (data zone, flag bitmap, index, wear counters, pool order) to
         calling :meth:`put` once per pair in order.  To guarantee that,
-        the batch is internally chunked so a retrain check can only fire
+        the plan stage chunks the batch so a retrain check can only fire
         where the sequential loop would run it, and pairs whose key
         already exists are routed through the update mode exactly like a
         sequential PUT.  (The byte-identical guarantee holds for the raw
@@ -384,155 +286,15 @@ class PNWStore:
         *this call* that fully committed — so callers can retry exactly
         the remainder.  Returns one report per pair, in order.
         """
-        items = [(self._normalize(key), value) for key, value in pairs]
-        self._validate_values([value for _, value in items])
-        if unique:
-            seen: set[bytes] = set()
-            for key, _ in items:
-                if key in self.index or key in seen:
-                    raise DuplicateKeyError(f"key {key!r} already exists")
-                seen.add(key)
-        reports: list[OperationReport] = []
-        i, n = 0, len(items)
-        while i < n:
-            key, value = items[i]
-            if key in self.index:
-                reports.append(self._batch_step(reports, self.update, key, value))
-                i += 1
-                continue
-            # Open a chunk of fresh, distinct keys.  Its length is capped
-            # so the next retrain check can fire only at the chunk's last
-            # operation — after every deferred write has landed — which
-            # is exactly where the sequential loop would retrain.
-            cap = self.config.retrain_check_interval - self._mutations_since_check
-            chunk_keys, chunk_values, taken = [key], [value], {key}
-            i += 1
-            pending_update: tuple[bytes, bytes | np.ndarray] | None = None
-            while i < n and len(chunk_keys) < cap:
-                next_key, next_value = items[i]
-                if next_key in taken:
-                    break
-                if next_key in self.index:
-                    pending_update = (next_key, next_value)
-                    i += 1
-                    break
-                chunk_keys.append(next_key)
-                chunk_values.append(next_value)
-                taken.add(next_key)
-                i += 1
-            reports.extend(
-                self._batch_step(reports, self._put_chunk, chunk_keys, chunk_values)
-            )
-            if pending_update is not None:
-                reports.append(
-                    self._batch_step(reports, self.update, *pending_update)
-                )
-        return reports
-
-    def _batch_step(self, reports, step, *args):
-        """Run one piece of a batch call; on :class:`PoolExhaustedError`
-        stamp the exception with ``committed_reports`` — everything this
-        batch call committed so far (earlier chunks plus the failing
-        chunk's flushed prefix) — so callers can see exactly which pairs
-        landed before the pool ran dry."""
-        try:
-            return step(*args)
-        except PoolExhaustedError as exc:
-            exc.committed_reports = list(reports) + list(
-                exc.__dict__.pop("chunk_reports", [])
-            )
-            raise
-
-    def _put_chunk(
-        self, keys: list[bytes], values: list[bytes | np.ndarray]
-    ) -> list[OperationReport]:
-        """Steered PUT of fresh, distinct keys as one vectorized batch.
-
-        Caller guarantees: no key is in the index, keys are distinct, and
-        the chunk is short enough that a retrain check can only fire at
-        its last operation.  Deferring the data writes to one multi-row
-        commit is safe because chunk writes only land on just-popped
-        addresses, which are no longer candidates for later pops — so
-        every Hamming probe sees exactly the bytes the sequential loop
-        would have seen.
-        """
-        m = len(keys)
-        payloads = self._encode_pairs(keys, values)
-        predict_before = self.manager.predict_ns_total
-        if self.manager.is_trained:
-            orders = self.manager.fallback_order_many(payloads)
-            clusters = np.ascontiguousarray(orders[:, 0], dtype=np.int64)
-        else:
-            orders = None
-            clusters = np.zeros(m, dtype=np.int64)
-        predict_ns = float(self.manager.predict_ns_total - predict_before) / m
-        try:
-            # The payload matrix goes straight to the probe engine, which
-            # scores each row against its cluster's DRAM content cache —
-            # no per-request scorer closures, no device gathers per pop.
-            addresses, fallbacks = self.pool.get_best_many(
-                clusters, payloads, self.config.probe_limit, orders
-            )
-        except PoolExhaustedError as exc:
-            # Commit the prefix the pool did serve — the state a
-            # sequential loop leaves behind when it dies on this PUT.
-            done = int(exc.partial_addresses.size)
-            exc.chunk_reports = (
-                self._commit_puts(
-                    keys[:done], payloads[:done], exc.partial_addresses,
-                    exc.partial_fallbacks, clusters[:done], predict_ns,
-                )
-                if done
-                else []
-            )
-            raise
-        return self._commit_puts(
-            keys, payloads, addresses, fallbacks, clusters, predict_ns
-        )
-
-    def _commit_puts(
-        self,
-        keys: list[bytes],
-        payloads: np.ndarray,
-        addresses: np.ndarray,
-        fallbacks: np.ndarray,
-        clusters: np.ndarray,
-        predict_ns: float,
-    ) -> list[OperationReport]:
-        """Flush a chunk of placed PUTs: multi-row write, coalesced flag
-        bits, per-op index inserts and retrain checks, reports."""
-        m = len(keys)
-        self.metrics.fallbacks += int(np.count_nonzero(fallbacks))
-        write_reports = self.nvm.write_many(addresses, payloads[:m])
-        self._set_valid_many(addresses, True)
-        reports: list[OperationReport] = []
-        for i in range(m):
-            index_lines_before = self._index_lines_snapshot()
-            self.index.put(keys[i], int(addresses[i]))
-            index_lines = self._index_lines_snapshot() - index_lines_before
-            self._live_count += 1
-            self.metrics.puts += 1
-            retrained = self._maybe_retrain()
-            op = OperationReport(
-                op="put",
-                key=keys[i],
-                address=int(addresses[i]),
-                cluster=int(clusters[i]),
-                fallback_used=bool(fallbacks[i]),
-                bit_updates=write_reports[i].bit_updates,
-                words_touched=write_reports[i].words_touched,
-                lines_touched=write_reports[i].lines_touched,
-                nvm_latency_ns=write_reports[i].latency_ns,
-                predict_ns=predict_ns,
-                index_lines=index_lines,
-                retrained=retrained,
-            )
-            self.metrics.record(op)
-            reports.append(op)
-        return reports
+        return self.engine.put_many(pairs, unique=unique)
 
     def get(self, key: bytes) -> bytes:
-        """GET (§V-B4): index lookup, then a data-zone read."""
+        """GET (§V-B4): index lookup, then a data-zone read.
+
+        A missing key raises :class:`KeyNotFoundError` (a
+        :class:`KeyError` subclass), like every miss on both store
+        types.
+        """
         key = self._normalize(key)
         address = self.index.get(key)
         bucket = self.nvm.read(address)
@@ -558,94 +320,14 @@ class PNWStore:
 
         A missing key raises :class:`KeyNotFoundError` after the
         already-deleted prefix is fully recycled — the state a sequential
-        loop leaves when it dies on that key.
+        loop leaves when it dies on that key.  The escaping exception
+        carries ``committed_reports`` (the prefix's reports).
         """
-        normalized = [self._normalize(key) for key in keys]
-        done: list[tuple[bytes, int]] = []
-        error: KeyNotFoundError | None = None
-        for key in normalized:
-            try:
-                address = self.index.delete(key)
-            except KeyNotFoundError as exc:
-                error = exc
-                break
-            self._set_valid(address, False)
-            done.append((key, address))
-        reports = self._commit_deletes(done)
-        if error is not None:
-            raise error
-        return reports
-
-    def _commit_deletes(
-        self, done: list[tuple[bytes, int]]
-    ) -> list[OperationReport]:
-        """Re-label and recycle already-unindexed addresses, in order."""
-        if not done:
-            return []
-        m = len(done)
-        addresses = np.array([address for _, address in done], dtype=np.int64)
-        predict_before = self.manager.predict_ns_total
-        if self.manager.is_trained:
-            clusters = self.manager.predict_many(self.nvm.peek_many(addresses))
-        else:
-            clusters = np.zeros(m, dtype=np.int64)
-        predict_ns = float(self.manager.predict_ns_total - predict_before) / m
-        reports: list[OperationReport] = []
-        for i, (key, address) in enumerate(done):
-            cluster = int(clusters[i])
-            if cluster >= self.pool.n_clusters:
-                cluster = 0
-            self.pool.release(address, cluster)
-            self._live_count -= 1
-            self.metrics.deletes += 1
-            op = OperationReport(
-                op="delete",
-                key=key,
-                address=address,
-                cluster=cluster,
-                fallback_used=False,
-                bit_updates=0,
-                words_touched=0,
-                lines_touched=0,
-                nvm_latency_ns=0.0,
-                predict_ns=predict_ns,
-                index_lines=0,
-                retrained=False,
-            )
-            self.metrics.record(op)
-            reports.append(op)
-        return reports
+        return self.engine.delete_many(keys)
 
     def update(self, key: bytes, value: bytes | np.ndarray) -> OperationReport:
         """UPDATE (§V-B3): endurance (delete+put) or latency (in place)."""
-        key = self._normalize(key)
-        if key not in self.index:
-            raise KeyNotFoundError(f"key {key!r} not found")
-        self.metrics.updates += 1
-        if self.config.update_mode == "endurance":
-            self.delete(key)
-            report = self.put(key, value)
-            return report
-        # Latency mode: straight through the index, in place, no steering.
-        address = self.index.get(key)
-        payload = self._encode_pair(key, value)
-        report = self.nvm.write(address, payload)
-        op = OperationReport(
-            op="update",
-            key=key,
-            address=address,
-            cluster=-1,
-            fallback_used=False,
-            bit_updates=report.bit_updates,
-            words_touched=report.words_touched,
-            lines_touched=report.lines_touched,
-            nvm_latency_ns=report.latency_ns,
-            predict_ns=0.0,
-            index_lines=0,
-            retrained=False,
-        )
-        self.metrics.record(op)
-        return op
+        return self.engine.update_single(self._normalize(key), value)
 
     def update_many(
         self, pairs: Iterable[tuple[bytes, bytes | np.ndarray]]
@@ -662,252 +344,14 @@ class PNWStore:
         endurance mode, at retrain-check boundaries.
 
         A missing key raises :class:`KeyNotFoundError` after the
-        already-updated prefix is fully applied, like a sequential loop.
-        Value sizes are validated up front (an oversized value anywhere
-        rejects the batch before any mutation).  A mid-batch
+        already-updated prefix is fully applied, like a sequential loop;
+        the exception carries ``committed_reports``.  Value sizes are
+        validated up front (an oversized value anywhere rejects the
+        batch before any mutation).  A mid-batch
         :class:`PoolExhaustedError` carries ``committed_reports`` like
         :meth:`put_many`.  Returns the per-pair UPDATE reports in order.
         """
-        items = [(self._normalize(key), value) for key, value in pairs]
-        self._validate_values([value for _, value in items])
-        endurance = self.config.update_mode == "endurance"
-        reports: list[OperationReport] = []
-        i, n = 0, len(items)
-        while i < n:
-            key, value = items[i]
-            if key not in self.index:
-                raise KeyNotFoundError(f"key {key!r} not found")
-            cap = (
-                self.config.retrain_check_interval - self._mutations_since_check
-                if endurance
-                else n
-            )
-            chunk: list[tuple[bytes, bytes | np.ndarray]] = [(key, value)]
-            taken = {key}
-            i += 1
-            missing_key: bytes | None = None
-            while i < n and len(chunk) < cap:
-                next_key, next_value = items[i]
-                if next_key in taken:
-                    break
-                if next_key not in self.index:
-                    missing_key = next_key
-                    i += 1
-                    break
-                chunk.append((next_key, next_value))
-                taken.add(next_key)
-                i += 1
-            if endurance:
-                reports.extend(
-                    self._batch_step(reports, self._update_chunk_endurance, chunk)
-                )
-            else:
-                reports.extend(self._update_chunk_latency(chunk))
-            if missing_key is not None:
-                raise KeyNotFoundError(f"key {missing_key!r} not found")
-        return reports
-
-    def _update_chunk_latency(
-        self, chunk: list[tuple[bytes, bytes | np.ndarray]]
-    ) -> list[OperationReport]:
-        """In-place batch update: one multi-row write, no steering."""
-        keys = [key for key, _ in chunk]
-        payloads = self._encode_pairs(keys, [value for _, value in chunk])
-        self.metrics.updates += len(chunk)
-        addresses = np.array([self.index.get(key) for key in keys], dtype=np.int64)
-        write_reports = self.nvm.write_many(addresses, payloads)
-        reports: list[OperationReport] = []
-        for i, write_report in enumerate(write_reports):
-            op = OperationReport(
-                op="update",
-                key=keys[i],
-                address=int(addresses[i]),
-                cluster=-1,
-                fallback_used=False,
-                bit_updates=write_report.bit_updates,
-                words_touched=write_report.words_touched,
-                lines_touched=write_report.lines_touched,
-                nvm_latency_ns=write_report.latency_ns,
-                predict_ns=0.0,
-                index_lines=0,
-                retrained=False,
-            )
-            self.metrics.record(op)
-            reports.append(op)
-        return reports
-
-    def _update_chunk_endurance(
-        self, chunk: list[tuple[bytes, bytes | np.ndarray]]
-    ) -> list[OperationReport]:
-        """Delete-plus-steered-PUT over a chunk of distinct, present keys.
-
-        The whole pool-visible event sequence — release ``i`` before pop
-        ``i``, pops in key order — runs inside one
-        :meth:`DynamicAddressPool.get_best_many` call with interleaved
-        ``releases``, so the batch path has no per-op pop loop left while
-        preserving the sequential interleaving exactly (a freed address
-        is eligible for its own key's steered PUT and every later one).
-        Predictions are batched up front — valid for the whole chunk
-        because the model cannot retrain before the chunk's last
-        operation, and bucket contents relevant to any probe are
-        untouched until the deferred multi-row flush.  The store-side
-        half of each delete (index removal, flag reset, counters) touches
-        neither the pool nor the data zone, so replaying it after the
-        bulk pop leaves identical state and identical accounting.
-        """
-        m = len(chunk)
-        keys = [key for key, _ in chunk]
-        payloads = self._encode_pairs(keys, [value for _, value in chunk])
-        # Unaccounted gather of the soon-to-be-freed contents; the
-        # accounted index/NVM traffic happens per-op in the replay,
-        # exactly as in sequential updates.
-        old_addresses = np.array([self.index.peek(key) for key in keys],
-                                 dtype=np.int64)
-        predict_before = self.manager.predict_ns_total
-        if self.manager.is_trained:
-            delete_clusters = self.manager.predict_many(
-                self.nvm.peek_many(old_addresses)
-            )
-            orders = self.manager.fallback_order_many(payloads)
-            put_clusters = np.ascontiguousarray(orders[:, 0], dtype=np.int64)
-        else:
-            delete_clusters = np.zeros(m, dtype=np.int64)
-            orders = None
-            put_clusters = np.zeros(m, dtype=np.int64)
-        predict_ns = (
-            float(self.manager.predict_ns_total - predict_before) / (2 * m)
-        )
-
-        releases: list[tuple[int, int]] = []
-        for i in range(m):
-            cluster = int(delete_clusters[i])
-            if cluster >= self.pool.n_clusters:
-                cluster = 0
-            releases.append((int(old_addresses[i]), cluster))
-
-        new_addresses = np.empty(m, dtype=np.int64)
-        fallbacks = np.zeros(m, dtype=bool)
-        try:
-            new_addresses, fallbacks = self.pool.get_best_many(
-                put_clusters, payloads, self.config.probe_limit, orders,
-                releases=releases,
-            )
-        except PoolExhaustedError as exc:
-            committed = int(exc.partial_addresses.size)
-            new_addresses[:committed] = exc.partial_addresses
-            fallbacks[:committed] = exc.partial_fallbacks
-            # The failing request's release landed before its pop died,
-            # so its delete half is replayed (and recorded) too.
-            applied = int(getattr(exc, "releases_applied", committed))
-            delete_reports = self._replay_update_deletes(
-                keys, releases, applied, predict_ns
-            )
-            exc.chunk_reports = self._commit_update_chunk(
-                keys, payloads, new_addresses, fallbacks, put_clusters,
-                predict_ns, delete_reports, committed,
-            )
-            raise
-        delete_reports = self._replay_update_deletes(keys, releases, m, predict_ns)
-        return self._commit_update_chunk(
-            keys, payloads, new_addresses, fallbacks, put_clusters,
-            predict_ns, delete_reports, m,
-        )
-
-    def _replay_update_deletes(
-        self,
-        keys: list[bytes],
-        releases: list[tuple[int, int]],
-        count: int,
-        predict_ns: float,
-    ) -> list[OperationReport]:
-        """Store-side half of the first ``count`` endurance-update
-        deletes, whose pool-side releases the probe engine already
-        interleaved with the pops: index removal, flag reset, and
-        counters per key, in key order."""
-        reports: list[OperationReport] = []
-        for i in range(count):
-            self.metrics.updates += 1
-            address = int(self.index.delete(keys[i]))
-            self._set_valid(address, False)
-            self._live_count -= 1
-            self.metrics.deletes += 1
-            reports.append(
-                OperationReport(
-                    op="delete",
-                    key=keys[i],
-                    address=address,
-                    cluster=releases[i][1],
-                    fallback_used=False,
-                    bit_updates=0,
-                    words_touched=0,
-                    lines_touched=0,
-                    nvm_latency_ns=0.0,
-                    predict_ns=predict_ns,
-                    index_lines=0,
-                    retrained=False,
-                )
-            )
-            # Replay the PUT-side membership check of the sequential
-            # path (update -> put -> "key in index", always False
-            # here): on an NVM index that lookup is accounted read
-            # traffic, and skipping it would make batched and
-            # sequential runs report different index wear.
-            _ = keys[i] in self.index
-        return reports
-
-    def _commit_update_chunk(
-        self,
-        keys: list[bytes],
-        payloads: np.ndarray,
-        new_addresses: np.ndarray,
-        fallbacks: np.ndarray,
-        put_clusters: np.ndarray,
-        predict_ns: float,
-        delete_reports: list[OperationReport],
-        committed: int,
-    ) -> list[OperationReport]:
-        """Flush the placed prefix of an endurance-update chunk.
-
-        Mirrors :meth:`_commit_puts` but interleaves each key's delete
-        report before its put report, matching the sequential record
-        order; a trailing delete whose steered PUT found the pool empty
-        is still recorded (its delete *did* happen) before the error
-        escapes.
-        """
-        self.metrics.fallbacks += int(np.count_nonzero(fallbacks[:committed]))
-        write_reports = self.nvm.write_many(
-            new_addresses[:committed], payloads[:committed]
-        )
-        if committed:
-            self._set_valid_many(new_addresses[:committed], True)
-        reports: list[OperationReport] = []
-        for i in range(committed):
-            self.metrics.record(delete_reports[i])
-            index_lines_before = self._index_lines_snapshot()
-            self.index.put(keys[i], int(new_addresses[i]))
-            index_lines = self._index_lines_snapshot() - index_lines_before
-            self._live_count += 1
-            self.metrics.puts += 1
-            retrained = self._maybe_retrain()
-            op = OperationReport(
-                op="put",
-                key=keys[i],
-                address=int(new_addresses[i]),
-                cluster=int(put_clusters[i]),
-                fallback_used=bool(fallbacks[i]),
-                bit_updates=write_reports[i].bit_updates,
-                words_touched=write_reports[i].words_touched,
-                lines_touched=write_reports[i].lines_touched,
-                nvm_latency_ns=write_reports[i].latency_ns,
-                predict_ns=predict_ns,
-                index_lines=index_lines,
-                retrained=retrained,
-            )
-            self.metrics.record(op)
-            reports.append(op)
-        if len(delete_reports) > committed:
-            self.metrics.record(delete_reports[committed])
-        return reports
+        return self.engine.update_many(pairs)
 
     # ------------------------------------------------------------------ #
     # recovery                                                            #
@@ -976,8 +420,9 @@ class PNWStore:
     def put_unique(self, key: bytes, value: bytes | np.ndarray) -> OperationReport:
         """PUT that refuses to overwrite (for insert-only workloads).
 
-        Shares :meth:`put_many`'s ``unique`` path, so the single and
-        batched insert-only paths raise the same
+        Shares :meth:`put_many`'s ``unique`` path — the engine plan
+        stage's :func:`~repro.engine.plan.check_unique` — so the single
+        and batched insert-only paths raise the same
         :class:`DuplicateKeyError` on the same (normalized) key, and a
         rejected insert never mutates the store.
         """

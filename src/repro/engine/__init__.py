@@ -1,0 +1,30 @@
+"""Staged write-path engine: plan → steer → commit → account.
+
+The single generic mutation pipeline behind ``PNWStore`` and (shard by
+shard) ``ShardedPNWStore``.  See :mod:`repro.engine.pipeline` for the
+stage contract.
+"""
+
+from .pipeline import (
+    Chunk,
+    DeleteBatch,
+    MutationEngine,
+    PutChunk,
+    SingleUpdate,
+    UpdateEnduranceChunk,
+    UpdateLatencyChunk,
+)
+from .plan import check_unique, encode_pairs, validate_values
+
+__all__ = [
+    "MutationEngine",
+    "Chunk",
+    "PutChunk",
+    "SingleUpdate",
+    "UpdateEnduranceChunk",
+    "UpdateLatencyChunk",
+    "DeleteBatch",
+    "check_unique",
+    "encode_pairs",
+    "validate_values",
+]

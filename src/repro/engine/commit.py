@@ -1,0 +1,284 @@
+"""Commit stage: pool pops, device writes, and index/flag updates.
+
+The commit stage is the only place a planned-and-steered chunk mutates
+the store: it pops best-match addresses from the dynamic pool, flushes
+payloads through the device's multi-row write path, coalesces the
+validity-bitmap updates, and applies the per-op index inserts and
+retrain checks in the exact order the sequential loop would.
+
+Mid-chunk :class:`PoolExhaustedError` handling lives here too: the
+already-placed prefix is committed (the state a sequential loop leaves
+behind when it dies on that PUT) and the escaping exception is stamped
+with the prefix's reports before it reaches the pipeline driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..core.reports import OperationReport
+from ..errors import KeyNotFoundError, PoolExhaustedError
+from . import account
+from .steer import DeleteSteering, PutSteering, UpdateSteering
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .pipeline import MutationEngine
+
+__all__ = [
+    "PutCommit",
+    "commit_puts",
+    "unindex_deletes",
+    "release_deletes",
+    "commit_endurance_updates",
+    "commit_latency_updates",
+    "replay_update_deletes",
+]
+
+
+@dataclass
+class PutCommit:
+    """What one flushed chunk of steered PUTs did to the store."""
+
+    addresses: np.ndarray
+    fallbacks: np.ndarray
+    write_reports: list
+    index_lines: list[int]
+    retrained: list[bool]
+
+
+def _flush_puts(
+    engine: "MutationEngine",
+    keys: list[bytes],
+    payloads: np.ndarray,
+    addresses: np.ndarray,
+    fallbacks: np.ndarray,
+) -> PutCommit:
+    """Flush a chunk of placed PUTs: multi-row write, coalesced flag
+    bits, then per-op index inserts and retrain checks, in order.
+
+    Deferring the data writes to one multi-row commit is safe because
+    chunk writes only land on just-popped addresses, which are no longer
+    candidates for later pops — so every Hamming probe sees exactly the
+    bytes the sequential loop would have seen.
+    """
+    store = engine.store
+    m = len(keys)
+    store.metrics.fallbacks += int(np.count_nonzero(fallbacks[:m]))
+    write_reports = store.nvm.write_many(addresses[:m], payloads[:m])
+    if m:
+        store._set_valid_many(addresses[:m], True)
+    index_lines: list[int] = []
+    retrained: list[bool] = []
+    for i in range(m):
+        lines_before = store._index_lines_snapshot()
+        store.index.put(keys[i], int(addresses[i]))
+        index_lines.append(store._index_lines_snapshot() - lines_before)
+        store._live_count += 1
+        store.metrics.puts += 1
+        retrained.append(store._maybe_retrain())
+    return PutCommit(addresses[:m], fallbacks[:m], write_reports,
+                     index_lines, retrained)
+
+
+def commit_puts(
+    engine: "MutationEngine",
+    keys: list[bytes],
+    payloads: np.ndarray,
+    steering: PutSteering,
+) -> PutCommit:
+    """Bulk-pop best-match addresses and flush the chunk.
+
+    The payload matrix goes straight to the probe engine, which scores
+    each row against its cluster's DRAM content cache — no per-request
+    scorer closures, no device gathers per pop.  On pool exhaustion the
+    prefix the pool did serve is committed and accounted, and the
+    exception escapes carrying those ``chunk_reports``.
+    """
+    store = engine.store
+    try:
+        addresses, fallbacks = store.pool.get_best_many(
+            steering.clusters, payloads, store.config.probe_limit,
+            steering.orders,
+        )
+    except PoolExhaustedError as exc:
+        done = int(exc.partial_addresses.size)
+        if done:
+            committed = _flush_puts(
+                engine, keys[:done], payloads, exc.partial_addresses,
+                exc.partial_fallbacks,
+            )
+            exc.chunk_reports = account.account_puts(
+                engine, keys[:done], steering.clusters,
+                steering.predict_ns, committed,
+            )
+        else:
+            exc.chunk_reports = []
+        raise
+    return _flush_puts(engine, keys, payloads, addresses, fallbacks)
+
+
+# ---------------------------------------------------------------------- #
+# deletes                                                                 #
+# ---------------------------------------------------------------------- #
+
+def unindex_deletes(
+    engine: "MutationEngine", keys: list[bytes]
+) -> tuple[list[tuple[bytes, int]], KeyNotFoundError | None]:
+    """Index removals and flag resets, per key in order (Algorithm 3).
+
+    Stops at the first missing key; the caller finishes recycling the
+    already-deleted prefix before the error escapes — the state a
+    sequential loop leaves when it dies on that key.
+    """
+    store = engine.store
+    done: list[tuple[bytes, int]] = []
+    for key in keys:
+        try:
+            address = store.index.delete(key)
+        except KeyNotFoundError as exc:
+            return done, exc
+        store._set_valid(address, False)
+        done.append((key, address))
+    return done, None
+
+
+def release_deletes(
+    engine: "MutationEngine",
+    done: list[tuple[bytes, int]],
+    steering: DeleteSteering,
+) -> list[int]:
+    """Recycle already-unindexed addresses into the pool, in key order.
+
+    Returns the clamped cluster each address was filed under (a stale
+    label past the current pool's range files under cluster 0).
+    """
+    store = engine.store
+    clusters: list[int] = []
+    for i, (_, address) in enumerate(done):
+        cluster = int(steering.clusters[i])
+        if cluster >= store.pool.n_clusters:
+            cluster = 0
+        store.pool.release(address, cluster)
+        store._live_count -= 1
+        store.metrics.deletes += 1
+        clusters.append(cluster)
+    return clusters
+
+
+# ---------------------------------------------------------------------- #
+# updates                                                                 #
+# ---------------------------------------------------------------------- #
+
+def replay_update_deletes(
+    engine: "MutationEngine",
+    keys: list[bytes],
+    releases: list[tuple[int, int]],
+    count: int,
+    predict_ns: float,
+) -> list[OperationReport]:
+    """Store-side half of the first ``count`` endurance-update deletes,
+    whose pool-side releases the probe engine already interleaved with
+    the pops: index removal, flag reset, and counters per key, in key
+    order.  Builds (but does not record) the delete reports — the
+    account stage interleaves them with the put reports."""
+    store = engine.store
+    reports: list[OperationReport] = []
+    for i in range(count):
+        store.metrics.updates += 1
+        address = int(store.index.delete(keys[i]))
+        store._set_valid(address, False)
+        store._live_count -= 1
+        store.metrics.deletes += 1
+        reports.append(
+            OperationReport(
+                op="delete",
+                key=keys[i],
+                address=address,
+                cluster=releases[i][1],
+                fallback_used=False,
+                bit_updates=0,
+                words_touched=0,
+                lines_touched=0,
+                nvm_latency_ns=0.0,
+                predict_ns=predict_ns,
+                index_lines=0,
+                retrained=False,
+            )
+        )
+        # Replay the PUT-side membership check of the sequential path
+        # (update -> put -> "key in index", always False here): on an
+        # NVM index that lookup is accounted read traffic, and skipping
+        # it would make batched and sequential runs report different
+        # index wear.
+        _ = keys[i] in store.index
+    return reports
+
+
+def commit_endurance_updates(
+    engine: "MutationEngine",
+    keys: list[bytes],
+    payloads: np.ndarray,
+    steering: UpdateSteering,
+) -> tuple[PutCommit, list[OperationReport], int]:
+    """Delete-plus-steered-PUT over a chunk of distinct, present keys.
+
+    The whole pool-visible event sequence — release ``i`` before pop
+    ``i``, pops in key order — runs inside one
+    :meth:`DynamicAddressPool.get_best_many` call with interleaved
+    ``releases``, preserving the sequential interleaving exactly (a
+    freed address is eligible for its own key's steered PUT and every
+    later one).  The store-side half of each delete touches neither the
+    pool nor the data zone, so replaying it after the bulk pop leaves
+    identical state and identical accounting.
+
+    Returns ``(put_commit, delete_reports, committed)``.  A trailing
+    delete whose steered PUT found the pool empty is still returned
+    (its delete *did* happen); the account stage records it before the
+    error escapes.
+    """
+    store = engine.store
+    m = len(keys)
+    new_addresses = np.empty(m, dtype=np.int64)
+    fallbacks = np.zeros(m, dtype=bool)
+    try:
+        new_addresses, fallbacks = store.pool.get_best_many(
+            steering.put_clusters, payloads, store.config.probe_limit,
+            steering.orders, releases=steering.releases,
+        )
+    except PoolExhaustedError as exc:
+        committed = int(exc.partial_addresses.size)
+        new_addresses[:committed] = exc.partial_addresses
+        fallbacks[:committed] = exc.partial_fallbacks
+        # The failing request's release landed before its pop died, so
+        # its delete half is replayed (and recorded) too.
+        applied = int(getattr(exc, "releases_applied", committed))
+        delete_reports = replay_update_deletes(
+            engine, keys, steering.releases, applied, steering.predict_ns
+        )
+        put_commit = _flush_puts(
+            engine, keys[:committed], payloads, new_addresses, fallbacks
+        )
+        exc.chunk_reports = account.account_endurance_updates(
+            engine, keys, steering, put_commit, delete_reports, committed
+        )
+        raise
+    delete_reports = replay_update_deletes(
+        engine, keys, steering.releases, m, steering.predict_ns
+    )
+    put_commit = _flush_puts(engine, keys, payloads, new_addresses, fallbacks)
+    return put_commit, delete_reports, m
+
+
+def commit_latency_updates(
+    engine: "MutationEngine", keys: list[bytes], payloads: np.ndarray
+) -> tuple[np.ndarray, list]:
+    """In-place batch update: one multi-row write, no steering."""
+    store = engine.store
+    store.metrics.updates += len(keys)
+    addresses = np.array([store.index.get(key) for key in keys],
+                         dtype=np.int64)
+    write_reports = store.nvm.write_many(addresses, payloads)
+    return addresses, write_reports

@@ -1,0 +1,134 @@
+"""Steer stage: predict clusters and fallback orders for a planned chunk.
+
+Everything that consults the K-Means model lives here: the PUT path's
+nearest-first cluster orders (Algorithm 2, line 1 + the §V-C fallback
+walk), the DELETE path's re-labeling of freed contents (Algorithm 3,
+line 3), and the endurance-UPDATE path's paired delete/put predictions.
+Each function returns a small steering record consumed by the commit
+stage; prediction time is measured around the model calls exactly as the
+store always has, so per-op ``predict_ns`` accounting is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .pipeline import MutationEngine
+
+__all__ = [
+    "PutSteering",
+    "DeleteSteering",
+    "UpdateSteering",
+    "steer_puts",
+    "steer_deletes",
+    "steer_endurance_updates",
+]
+
+
+@dataclass
+class PutSteering:
+    """Cluster choices for one steered-PUT chunk."""
+
+    clusters: np.ndarray
+    orders: np.ndarray | None
+    predict_ns: float
+
+
+@dataclass
+class DeleteSteering:
+    """Re-labels (cluster per freed address, clamped by commit)."""
+
+    clusters: np.ndarray
+    predict_ns: float
+
+
+@dataclass
+class UpdateSteering:
+    """Paired steering of one endurance-update chunk: the delete half's
+    releases and the put half's cluster orders."""
+
+    releases: list[tuple[int, int]]
+    put_clusters: np.ndarray
+    orders: np.ndarray | None
+    predict_ns: float
+
+
+def steer_puts(
+    engine: "MutationEngine", payloads: np.ndarray
+) -> PutSteering:
+    """Predict every pair's cluster order in one vectorized model call."""
+    manager = engine.store.manager
+    m = payloads.shape[0]
+    predict_before = manager.predict_ns_total
+    if manager.is_trained:
+        orders = manager.fallback_order_many(payloads)
+        clusters = np.ascontiguousarray(orders[:, 0], dtype=np.int64)
+    else:
+        orders = None
+        clusters = np.zeros(m, dtype=np.int64)
+    predict_ns = float(manager.predict_ns_total - predict_before) / m
+    return PutSteering(clusters, orders, predict_ns)
+
+
+def steer_deletes(
+    engine: "MutationEngine", addresses: np.ndarray
+) -> DeleteSteering:
+    """Re-label freed buckets by the data they still hold (Algorithm 3).
+
+    Deletes never change bucket contents, so one batched prediction over
+    the gathered rows matches per-key prediction exactly.
+    """
+    store = engine.store
+    m = int(addresses.size)
+    predict_before = store.manager.predict_ns_total
+    if store.manager.is_trained:
+        clusters = store.manager.predict_many(store.nvm.peek_many(addresses))
+    else:
+        clusters = np.zeros(m, dtype=np.int64)
+    predict_ns = float(store.manager.predict_ns_total - predict_before) / m
+    return DeleteSteering(clusters, predict_ns)
+
+
+def steer_endurance_updates(
+    engine: "MutationEngine", keys: list[bytes], payloads: np.ndarray
+) -> UpdateSteering:
+    """Steer both halves of an endurance-update chunk up front.
+
+    The old contents are re-labeled and the new payloads' cluster orders
+    predicted in two vectorized calls — valid for the whole chunk
+    because the model cannot retrain before the chunk's last operation.
+    The gather of soon-to-be-freed contents is unaccounted (``peek``);
+    the accounted index/NVM traffic happens per-op in the commit stage's
+    replay, exactly as in sequential updates.
+    """
+    store = engine.store
+    m = len(keys)
+    old_addresses = np.array(
+        [store.index.peek(key) for key in keys], dtype=np.int64
+    )
+    predict_before = store.manager.predict_ns_total
+    if store.manager.is_trained:
+        delete_clusters = store.manager.predict_many(
+            store.nvm.peek_many(old_addresses)
+        )
+        orders = store.manager.fallback_order_many(payloads)
+        put_clusters = np.ascontiguousarray(orders[:, 0], dtype=np.int64)
+    else:
+        delete_clusters = np.zeros(m, dtype=np.int64)
+        orders = None
+        put_clusters = np.zeros(m, dtype=np.int64)
+    predict_ns = (
+        float(store.manager.predict_ns_total - predict_before) / (2 * m)
+    )
+
+    releases: list[tuple[int, int]] = []
+    for i in range(m):
+        cluster = int(delete_clusters[i])
+        if cluster >= store.pool.n_clusters:
+            cluster = 0
+        releases.append((int(old_addresses[i]), cluster))
+    return UpdateSteering(releases, put_clusters, orders, predict_ns)

@@ -1,0 +1,5 @@
+"""Async coalescing ingestion over the staged write-path engine."""
+
+from .queue import IngestQueue
+
+__all__ = ["IngestQueue"]

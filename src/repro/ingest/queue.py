@@ -1,0 +1,369 @@
+"""Async coalescing ingestion queue over the staged write path.
+
+Streaming drivers produce one operation at a time; the store's engine is
+fastest when fed whole batches (one featurize, one K-Means call, one
+bulk pop, one multi-row commit per chunk).  :class:`IngestQueue` closes
+that gap: callers submit single PUT/UPDATE/DELETE ops and immediately
+get a :class:`~concurrent.futures.Future`; the queue coalesces pending
+ops into per-shard ``put_many`` / ``update_many`` / ``delete_many``
+batches under a size/latency-deadline policy and drains them through
+the store's existing batch pipelines — the sharded store's thread-pooled
+per-shard engines included — resolving each future with its op's
+:class:`~repro.core.reports.OperationReport`.
+
+Ordering and equivalence
+------------------------
+
+Ops are grouped *per shard* (one logical shard for a plain
+``PNWStore``), and each shard's ops keep their submission order: a run
+of consecutive same-kind ops becomes one ``*_many`` call, and a kind
+change (or the ``max_batch`` cap) cuts the run.  Two ops on different
+shards own disjoint key spaces, so cross-shard regrouping cannot
+reorder conflicting ops, and per-shard batch boundaries don't change
+state at all — the engine's batch pipeline is state-identical to
+sequential execution.  Coalesced ingestion is therefore byte-identical
+(data zone, index, pool, wear accounting) to hand-batched ``*_many``
+calls over the same per-shard op sequences (pinned by
+``tests/ingest/``).
+
+Failure semantics follow the batch calls they coalesce into: when a run
+dies mid-batch (missing key, pool exhaustion), the committed prefix's
+futures resolve normally from the exception's ``committed_reports``,
+and the remaining futures of that run receive the exception.  Later
+runs — including the same shard's — still execute.
+
+One queue must be driven from one producer thread at a time (like the
+store itself); the flusher thread and explicit :meth:`flush` calls are
+internally serialized against each other, in submission order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..core.reports import OperationReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.store import PNWStore
+    from ..shard.store import ShardedPNWStore
+
+__all__ = ["IngestQueue"]
+
+
+class _Run:
+    """One shard's run of consecutive same-kind ops (one ``*_many``)."""
+
+    __slots__ = ("kind", "items", "futures")
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self.items: list = []
+        self.futures: list[Future] = []
+
+
+class IngestQueue:
+    """Coalesce single ops into per-shard batches behind futures.
+
+    Parameters
+    ----------
+    store:
+        A :class:`~repro.core.store.PNWStore` or
+        :class:`~repro.shard.ShardedPNWStore`.  The queue becomes the
+        store's single driving thread; don't mutate the store directly
+        while the queue is open.
+    max_batch:
+        Flush a shard as soon as it has this many pending ops; also the
+        cap on one coalesced ``*_many`` call (the dispatch batch size).
+    max_delay:
+        Latency deadline in seconds: no accepted op waits longer than
+        this for its batch to be dispatched (plus the batch's own
+        execution time).
+    autostart:
+        Start the background flusher thread immediately.  With
+        ``False`` nothing is dispatched until :meth:`flush` — handy for
+        deterministic tests and crash simulations.
+    """
+
+    def __init__(
+        self,
+        store: "PNWStore | ShardedPNWStore",
+        *,
+        max_batch: int = 256,
+        max_delay: float = 0.005,
+        autostart: bool = True,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay <= 0.0:
+            raise ValueError(f"max_delay must be positive, got {max_delay}")
+        self.store = store
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self._sharded = hasattr(store, "run_shard_batches")
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        #: Per-shard ordered runs of pending ops.
+        self._pending: dict[int, list[_Run]] = {}
+        self._pending_counts: dict[int, int] = {}
+        #: Enqueue time of each shard's oldest pending op.
+        self._oldest: dict[int, float] = {}
+        self._closed = False
+        #: Serializes dispatch (flusher thread vs explicit flush calls)
+        #: so batches reach the store in take-order.
+        self._drain_lock = threading.Lock()
+        self.ops_submitted = 0
+        self.batches_dispatched = 0
+        self._flusher: threading.Thread | None = None
+        if autostart:
+            self.start()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                           #
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Start the background flusher (idempotent)."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            if self._flusher is not None:
+                return
+            self._flusher = threading.Thread(
+                target=self._flush_loop, name="pnw-ingest", daemon=True
+            )
+            self._flusher.start()
+
+    def close(self) -> None:
+        """Flush everything still pending and stop the flusher."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        flusher = self._flusher
+        if flusher is not None:
+            flusher.join()
+            self._flusher = None
+        # Anything still pending (no flusher, or enqueued after the
+        # flusher's final sweep began).
+        with self._drain_lock:
+            with self._lock:
+                batches = self._take(due_only=False)
+            self._dispatch(batches)
+
+    def __enter__(self) -> "IngestQueue":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # producer API                                                        #
+    # ------------------------------------------------------------------ #
+
+    def put(self, key: bytes, value: bytes | np.ndarray) -> Future:
+        """Enqueue a PUT; the future resolves to its OperationReport."""
+        return self._submit("put", key, (key, value))
+
+    def update(self, key: bytes, value: bytes | np.ndarray) -> Future:
+        """Enqueue an UPDATE; missing keys fail the future with
+        :class:`~repro.errors.KeyNotFoundError`."""
+        return self._submit("update", key, (key, value))
+
+    def delete(self, key: bytes) -> Future:
+        """Enqueue a DELETE; missing keys fail the future with
+        :class:`~repro.errors.KeyNotFoundError`."""
+        return self._submit("delete", key, key)
+
+    def _shard_of(self, key: bytes) -> int:
+        if self._sharded:
+            return self.store.shard_of_key(key)
+        return 0
+
+    def _submit(self, kind: str, key: bytes, item) -> Future:
+        future: Future = Future()
+        wake = False
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed IngestQueue")
+            shard_id = self._shard_of(key)
+            runs = self._pending.setdefault(shard_id, [])
+            if (
+                not runs
+                or runs[-1].kind != kind
+                or len(runs[-1].items) >= self.max_batch
+            ):
+                runs.append(_Run(kind))
+            run = runs[-1]
+            run.items.append(item)
+            run.futures.append(future)
+            count = self._pending_counts.get(shard_id, 0) + 1
+            self._pending_counts[shard_id] = count
+            self._oldest.setdefault(shard_id, time.monotonic())
+            self.ops_submitted += 1
+            if count >= self.max_batch:
+                wake = True
+            if wake or count == 1:
+                # Size trigger, or a shard just became non-empty (the
+                # flusher must learn its deadline).
+                self._cond.notify()
+        if wake and self._flusher is None:
+            # No background flusher: size-triggered batches drain inline
+            # so a paused queue still makes progress under load.
+            self.flush()
+        return future
+
+    def flush(self) -> None:
+        """Dispatch everything pending and wait for it to execute.
+
+        Returns once every op submitted before the call has its future
+        resolved (the futures of failing runs carry their exception).
+        Also waits out any dispatch already in flight.
+        """
+        with self._drain_lock:
+            with self._lock:
+                batches = self._take(due_only=False)
+            self._dispatch(batches)
+
+    # ------------------------------------------------------------------ #
+    # flusher                                                             #
+    # ------------------------------------------------------------------ #
+
+    def _take(
+        self, *, due_only: bool, now: float | None = None
+    ) -> dict[int, list[_Run]]:
+        """Detach pending runs (all shards, or only size/deadline-due
+        ones).  Caller holds ``_lock``."""
+        taken: dict[int, list[_Run]] = {}
+        for shard_id in list(self._pending):
+            if due_only:
+                due = (
+                    self._pending_counts[shard_id] >= self.max_batch
+                    or (now or time.monotonic()) - self._oldest[shard_id]
+                    >= self.max_delay
+                )
+                if not due:
+                    continue
+            runs = self._pending.pop(shard_id)
+            if runs:
+                taken[shard_id] = runs
+            self._pending_counts.pop(shard_id, None)
+            self._oldest.pop(shard_id, None)
+        return taken
+
+    def _next_deadline(self) -> float | None:
+        """Earliest pending deadline (monotonic).  Caller holds ``_lock``."""
+        if not self._oldest:
+            return None
+        return min(self._oldest.values()) + self.max_delay
+
+    def _something_due(self, now: float) -> bool:
+        """Whether any shard hit its size or deadline trigger.  Caller
+        holds ``_lock``."""
+        if any(
+            count >= self.max_batch
+            for count in self._pending_counts.values()
+        ):
+            return True
+        deadline = self._next_deadline()
+        return deadline is not None and now >= deadline
+
+    def _flush_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._closed and not self._something_due(
+                    time.monotonic()
+                ):
+                    deadline = self._next_deadline()
+                    timeout = (
+                        None
+                        if deadline is None
+                        else max(0.0, deadline - time.monotonic())
+                    )
+                    self._cond.wait(timeout)
+                stop = self._closed
+            # Take-and-dispatch runs under _drain_lock so concurrent
+            # flush() calls and the flusher hand batches to the store
+            # strictly in take order.
+            with self._drain_lock:
+                with self._lock:
+                    batches = self._take(
+                        due_only=not stop, now=time.monotonic()
+                    )
+                self._dispatch(batches)
+            if stop:
+                return
+
+    # ------------------------------------------------------------------ #
+    # dispatch                                                            #
+    # ------------------------------------------------------------------ #
+
+    def _dispatch(self, batches: dict[int, list[_Run]]) -> None:
+        """Drain detached runs through the store's batch pipelines."""
+        if not batches:
+            return
+        if self._sharded:
+            results = self.store.run_shard_batches(
+                {
+                    shard_id: [(run.kind, run.items) for run in runs]
+                    for shard_id, runs in batches.items()
+                }
+            )
+            for shard_id, outcomes in results.items():
+                for run, (reports, error) in zip(batches[shard_id], outcomes):
+                    self._resolve(run, reports, error)
+                self.batches_dispatched += len(outcomes)
+            return
+        ops = {
+            "put": self.store.put_many,
+            "update": self.store.update_many,
+            "delete": self.store.delete_many,
+        }
+        for run in batches.get(0, []):
+            try:
+                reports = ops[run.kind](run.items)
+            except Exception as exc:  # noqa: BLE001 - routed to futures
+                self._resolve(run, None, exc)
+            else:
+                self._resolve(run, reports, None)
+            self.batches_dispatched += 1
+
+    @staticmethod
+    def _resolve(
+        run: _Run,
+        reports: list[OperationReport] | None,
+        error: BaseException | None,
+    ) -> None:
+        """Map one executed run back onto its futures.
+
+        On error, the batch call's ``committed_reports`` (an in-order
+        prefix) resolve the ops that did land; every later future of the
+        run gets the exception — the ``*_many`` contract the run
+        coalesced into.
+        """
+        if error is None:
+            assert reports is not None
+            for future, report in zip(run.futures, reports):
+                future.set_result(report)
+            return
+        committed = list(getattr(error, "committed_reports", []))
+        for i, future in enumerate(run.futures):
+            if i < len(committed):
+                future.set_result(committed[i])
+            else:
+                future.set_exception(error)
+
+    # ------------------------------------------------------------------ #
+    # introspection                                                       #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def pending_ops(self) -> int:
+        """Ops accepted but not yet dispatched."""
+        with self._lock:
+            return sum(self._pending_counts.values())

@@ -228,6 +228,39 @@ class MiniBatchKMeans:
         self._counts: np.ndarray | None = None
         self._rng = np.random.default_rng(seed)
 
+    def warm_start(
+        self, centers: np.ndarray, counts: np.ndarray | None = None
+    ) -> "MiniBatchKMeans":
+        """Seed the centroids from an already-fitted model.
+
+        The store's incremental refresh path starts mini-batch updates
+        from the *current* K-Means centroids instead of a fresh
+        k-means++ draw, so a refresh nudges the model toward the zone's
+        new distribution rather than re-deriving it.  ``counts`` sets
+        the per-centroid sample counts that damp the learning rate
+        (``eta = 1 / count``); the default of one pre-seen sample per
+        centroid lets the first assignments move centroids strongly
+        while keeping ``eta`` finite.
+        """
+        centers = np.atleast_2d(np.ascontiguousarray(centers, dtype=np.float64))
+        if centers.shape[0] != self.n_clusters:
+            raise ValueError(
+                f"{centers.shape[0]} warm-start centers for "
+                f"n_clusters={self.n_clusters}"
+            )
+        if counts is None:
+            counts = np.ones(self.n_clusters, dtype=np.float64)
+        else:
+            counts = np.ascontiguousarray(counts, dtype=np.float64)
+            if counts.shape != (self.n_clusters,):
+                raise ValueError(
+                    f"counts shape {counts.shape} does not match "
+                    f"({self.n_clusters},)"
+                )
+        self.cluster_centers_ = centers.copy()
+        self._counts = counts.copy()
+        return self
+
     def partial_fit(self, X: np.ndarray) -> "MiniBatchKMeans":
         """Update centroids with one batch of samples."""
         X = np.atleast_2d(np.ascontiguousarray(X, dtype=np.float64))

@@ -6,7 +6,9 @@ unmodified :class:`~repro.core.store.PNWStore` — its own NVM zone,
 validity bitmap, hash index, k-means model, and dynamic address pool —
 so everything proved about the single store (batch/sequential
 equivalence, crash recovery from NVM state, wear accounting) holds
-per shard by construction.
+per shard by construction.  Every sub-batch therefore executes through
+the same staged write-path engine (:mod:`repro.engine`) as the single
+store; this module only routes and reassembles.
 
 The sharded layer adds exactly two things:
 
@@ -51,7 +53,8 @@ import numpy as np
 
 from ..core.config import PNWConfig
 from ..core.store import OperationReport, PNWStore, StoreMetrics
-from ..errors import ConfigError, DuplicateKeyError, PoolExhaustedError
+from ..engine.plan import check_unique
+from ..errors import ConfigError, KeyNotFoundError, PoolExhaustedError
 from ..index.base import KeyIndex
 from ..nvm.stats import WearStats
 from .router import assign_shards, shard_of
@@ -207,14 +210,15 @@ class ShardedPNWStore:
     ) -> None:
         """Re-raise the lowest shard's error after all shards settled.
 
-        For pool exhaustion the single store stamps the exception with
-        ``committed_reports``; the sharded form aggregates them across
-        shards — every sibling shard's full sub-batch plus the failing
-        shards' committed prefixes, grouped shard by shard (concurrent
-        shards have no global commit order) with global addresses.
+        For pool exhaustion and mid-batch missing keys the engine stamps
+        the exception with ``committed_reports``; the sharded form
+        aggregates them across shards — every sibling shard's full
+        sub-batch plus the failing shards' committed prefixes, grouped
+        shard by shard (concurrent shards have no global commit order)
+        with global addresses.
         """
         first = errors[min(errors)]
-        if isinstance(first, PoolExhaustedError):
+        if isinstance(first, (PoolExhaustedError, KeyNotFoundError)):
             committed: list[OperationReport] = []
             for shard_id in sorted(set(results) | set(errors)):
                 reports = (
@@ -254,6 +258,63 @@ class ShardedPNWStore:
             for position, report in zip(groups[shard_id], reports):
                 out[position] = self._globalize(shard_id, report)
         return out  # type: ignore[return-value]
+
+    def run_shard_batches(
+        self, batches: dict[int, list[tuple[str, list]]]
+    ) -> dict[int, list[tuple[list[OperationReport] | None, BaseException | None]]]:
+        """Execute pre-routed per-shard batch sequences concurrently.
+
+        The drain path of :class:`repro.ingest.IngestQueue`: ``batches``
+        maps a shard id to an ordered list of ``(kind, items)`` runs,
+        where ``kind`` is ``"put"`` / ``"update"`` / ``"delete"`` and
+        ``items`` the corresponding ``*_many`` argument.  Each shard's
+        runs execute in order on that shard's engine; shards run
+        concurrently on the store's thread pool.  Runs are independent:
+        a failing run does not stop the shard's later runs.
+
+        Returns, per shard, one ``(reports, error)`` pair per run —
+        reports (and any ``committed_reports`` stamped on an error) are
+        remapped to global addresses.  The caller must be the store's
+        single driving thread, like every other mutation entry point.
+        """
+        def run_shard(shard_id: int, runs: list[tuple[str, list]]):
+            store = self.stores[shard_id]
+            ops = {
+                "put": store.put_many,
+                "update": store.update_many,
+                "delete": store.delete_many,
+            }
+            outcomes: list[tuple[list[OperationReport] | None,
+                                 BaseException | None]] = []
+            for kind, items in runs:
+                try:
+                    reports = ops[kind](items)
+                except Exception as exc:  # noqa: BLE001 - routed to futures
+                    committed = getattr(exc, "committed_reports", None)
+                    if committed is not None:
+                        exc.committed_reports = [
+                            self._globalize(shard_id, report)
+                            for report in committed
+                        ]
+                    outcomes.append((None, exc))
+                else:
+                    outcomes.append((
+                        [self._globalize(shard_id, report)
+                         for report in reports],
+                        None,
+                    ))
+            return outcomes
+
+        tasks = {
+            shard_id: (lambda shard_id=shard_id, runs=runs:
+                       run_shard(shard_id, runs))
+            for shard_id, runs in batches.items()
+            if runs
+        }
+        results, errors = self._map_shards(tasks)
+        if errors:  # pragma: no cover - run_shard captures its exceptions
+            raise errors[min(errors)]
+        return results
 
     # ------------------------------------------------------------------ #
     # lifecycle                                                           #
@@ -338,8 +399,10 @@ class ShardedPNWStore:
 
         With ``unique=True`` the whole batch is validated against every
         shard's index *before* anything is dispatched, so a duplicate
-        anywhere rejects the batch with no shard mutated (same contract
-        as the single store's ``unique`` path).
+        anywhere rejects the batch with no shard mutated — the same
+        :func:`repro.engine.plan.check_unique` implementation (and error
+        text) as the single store's ``unique`` path, with per-shard
+        routing as the membership test.
         """
         items = list(pairs)
         keys = [
@@ -348,11 +411,8 @@ class ShardedPNWStore:
         ]
         shard_ids = assign_shards(keys, self.n_shards)
         if unique:
-            seen: set[bytes] = set()
-            for key, shard_id in zip(keys, shard_ids):
-                if key in seen or key in self.stores[shard_id]:
-                    raise DuplicateKeyError(f"key {key!r} already exists")
-                seen.add(key)
+            owner = dict(zip(keys, shard_ids))
+            check_unique(keys, lambda key: key in self.stores[owner[key]])
         return self._run_batch(
             items, shard_ids, lambda store, sub: store.put_many(sub)
         )

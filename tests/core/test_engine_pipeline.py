@@ -1,0 +1,274 @@
+"""The staged mutation engine: delegation, planning, and error contracts.
+
+The byte-identity of the engine's stages is pinned by the batch
+equivalence / recovery / probe-oracle suites; this module covers the
+engine layer itself — that both stores execute mutations through one
+pipeline, that the plan stage carves batches correctly, that the
+uniqueness pre-check is a single shared implementation, and that misses
+raise :class:`KeyNotFoundError` (never a bare :class:`KeyError`)
+consistently across ``PNWStore`` and ``ShardedPNWStore``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PNWConfig, PNWStore, ShardedPNWStore
+from repro.engine import MutationEngine, check_unique
+from repro.engine.pipeline import PutChunk, SingleUpdate
+from repro.engine import plan as plan_stage
+from repro.errors import (
+    DuplicateKeyError,
+    KeyNotFoundError,
+    PoolExhaustedError,
+    ReproError,
+)
+from tests.conftest import clustered_values
+
+
+def make_store(shards: int = 1, **overrides) -> PNWStore | ShardedPNWStore:
+    base = dict(
+        num_buckets=256,
+        value_bytes=24,
+        key_bytes=8,
+        n_clusters=4,
+        seed=7,
+        n_init=1,
+        max_iter=20,
+        shards=shards,
+    )
+    base.update(overrides)
+    config = PNWConfig(**base)
+    store = (
+        PNWStore(config) if shards == 1 else ShardedPNWStore(config)
+    )
+    rng = np.random.default_rng(42)
+    store.warm_up(clustered_values(rng, config.num_buckets, config.value_bytes))
+    return store
+
+
+def value(i: int) -> bytes:
+    return np.random.default_rng(i).integers(
+        0, 256, 24, dtype=np.uint8
+    ).tobytes()
+
+
+class TestEngineDelegation:
+    def test_store_owns_one_engine(self):
+        store = make_store()
+        assert isinstance(store.engine, MutationEngine)
+        assert store.engine.store is store
+
+    def test_store_has_no_legacy_batch_loops(self):
+        """The hand-copied plan/commit loops must be gone from the store."""
+        for name in (
+            "_put_chunk",
+            "_commit_puts",
+            "_commit_deletes",
+            "_update_chunk_endurance",
+            "_update_chunk_latency",
+            "_commit_update_chunk",
+            "_replay_update_deletes",
+            "_batch_step",
+        ):
+            assert not hasattr(PNWStore, name), name
+
+    def test_sharded_mutations_flow_through_shard_engines(self):
+        store = make_store(shards=4)
+        calls = []
+        for shard in store.stores:
+            original = shard.engine.put_many
+
+            def spy(pairs, *, unique=False, _original=original, _shard=shard):
+                calls.append(_shard)
+                return _original(pairs, unique=unique)
+
+            shard.engine.put_many = spy
+        store.put_many([(f"k{i}".encode(), value(i)) for i in range(16)])
+        assert set(calls) <= set(store.stores)
+        assert len(calls) >= 2  # 16 keys hash across several shards
+
+    def test_engine_entry_point_is_the_store_api(self):
+        store = make_store()
+        report = store.engine.put_many([(b"a", value(1))])[0]
+        assert report.op == "put"
+        assert store.get(b"a") == value(1).ljust(24, b"\x00")
+
+
+class TestPlanStage:
+    def test_put_plan_routes_existing_keys_to_update(self):
+        store = make_store()
+        store.put(b"seen", value(0))
+        items = [
+            (store.engine._normalize(b"fresh1"), value(1)),
+            (store.engine._normalize(b"seen"), value(2)),
+            (store.engine._normalize(b"fresh2"), value(3)),
+        ]
+        kinds = []
+        for chunk in plan_stage.plan_puts(store.engine, items):
+            kinds.append(type(chunk))
+            chunk.execute(store.engine)
+        assert kinds == [PutChunk, SingleUpdate, PutChunk]
+
+    def test_put_plan_cuts_chunks_at_duplicate_keys(self):
+        store = make_store()
+        key = store.engine._normalize(b"dup")
+        items = [(key, value(1)), (key, value(2))]
+        chunks = []
+        for chunk in plan_stage.plan_puts(store.engine, items):
+            chunks.append(chunk)
+            chunk.execute(store.engine)
+        # First occurrence is a fresh PUT; the second sees the key in the
+        # index and becomes an update.
+        assert [type(c) for c in chunks] == [PutChunk, SingleUpdate]
+
+    def test_put_plan_respects_retrain_cap(self):
+        store = make_store(retrain_check_interval=8, load_factor=1.0)
+        items = [
+            (store.engine._normalize(f"k{i}".encode()), value(i))
+            for i in range(20)
+        ]
+        sizes = []
+        for chunk in plan_stage.plan_puts(store.engine, items):
+            assert isinstance(chunk, PutChunk)
+            sizes.append(len(chunk.keys))
+            chunk.execute(store.engine)
+        assert sum(sizes) == 20
+        assert all(size <= 8 for size in sizes)
+
+    def test_oversized_value_rejects_batch_before_mutation(self):
+        store = make_store()
+        snapshot = store.nvm.snapshot()
+        with pytest.raises(ValueError, match="exceeds bucket size"):
+            store.put_many([(b"ok", value(1)), (b"bad", b"x" * 100)])
+        assert np.array_equal(store.nvm.snapshot(), snapshot)
+        assert b"ok" not in store
+
+
+class TestUniqueCheck:
+    def test_shared_error_text_single_and_sharded(self):
+        single = make_store()
+        sharded = make_store(shards=4)
+        single.put(b"taken", value(1))
+        sharded.put(b"taken", value(1))
+        with pytest.raises(DuplicateKeyError) as single_exc:
+            single.put_many([(b"taken", value(2))], unique=True)
+        with pytest.raises(DuplicateKeyError) as sharded_exc:
+            sharded.put_many([(b"taken", value(2))], unique=True)
+        assert str(single_exc.value) == str(sharded_exc.value)
+
+    def test_check_unique_rejects_in_batch_duplicates(self):
+        with pytest.raises(DuplicateKeyError):
+            check_unique([b"a", b"b", b"a"], lambda key: False)
+
+    def test_check_unique_rejects_existing(self):
+        with pytest.raises(DuplicateKeyError, match="already exists"):
+            check_unique([b"a"], lambda key: key == b"a")
+        check_unique([b"a", b"b"], lambda key: False)  # clean batch passes
+
+    def test_unique_reject_leaves_sharded_store_untouched(self):
+        store = make_store(shards=2)
+        store.put(b"existing", value(1))
+        before = [shard.nvm.snapshot() for shard in store.stores]
+        with pytest.raises(DuplicateKeyError):
+            store.put_many(
+                [(b"new", value(2)), (b"existing", value(3))], unique=True
+            )
+        for shard, snap in zip(store.stores, before):
+            assert np.array_equal(shard.nvm.snapshot(), snap)
+        assert b"new" not in store
+
+
+class TestKeyNotFoundContract:
+    """GET/DELETE/UPDATE misses raise KeyNotFoundError on both stores."""
+
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_get_miss(self, shards):
+        store = make_store(shards=shards)
+        with pytest.raises(KeyNotFoundError) as exc:
+            store.get(b"missing")
+        assert isinstance(exc.value, KeyError)
+        assert isinstance(exc.value, ReproError)
+
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_delete_miss(self, shards):
+        store = make_store(shards=shards)
+        with pytest.raises(KeyNotFoundError):
+            store.delete(b"missing")
+
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_update_miss(self, shards):
+        store = make_store(shards=shards)
+        with pytest.raises(KeyNotFoundError):
+            store.update(b"missing", value(0))
+
+    def test_delete_many_miss_carries_committed_reports(self):
+        store = make_store()
+        store.put(b"a", value(1))
+        store.put(b"b", value(2))
+        with pytest.raises(KeyNotFoundError) as exc:
+            store.delete_many([b"a", b"missing", b"b"])
+        committed = exc.value.committed_reports
+        assert [r.key for r in committed] == [b"a".ljust(8, b"\x00")]
+        assert b"a" not in store  # prefix applied
+        assert b"b" in store  # suffix untouched
+
+    def test_update_many_miss_carries_committed_reports(self):
+        store = make_store()
+        store.put(b"a", value(1))
+        with pytest.raises(KeyNotFoundError) as exc:
+            store.update_many([(b"a", value(9)), (b"missing", value(8))])
+        committed = exc.value.committed_reports
+        assert [r.key for r in committed] == [b"a".ljust(8, b"\x00")]
+        assert store.get(b"a") == value(9).ljust(24, b"\x00")
+
+
+class TestShardedCommittedReports:
+    def test_delete_many_miss_aggregates_across_shards_globalized(self):
+        """A mid-batch miss on one shard must surface committed_reports
+        covering every sibling shard's completed sub-batch, with global
+        addresses — the same contract as pool exhaustion."""
+        store = make_store(shards=4)
+        keys = [f"k{i}".encode() for i in range(24)]
+        put_reports = store.put_many(
+            [(key, value(i)) for i, key in enumerate(keys)]
+        )
+        put_address = {
+            report.key: report.address for report in put_reports
+        }
+        with pytest.raises(KeyNotFoundError) as exc:
+            store.delete_many(keys[:12] + [b"missing"] + keys[12:])
+        committed = exc.value.committed_reports
+        # Every key the call actually deleted is reported exactly once...
+        committed_keys = {report.key.rstrip(b"\x00") for report in committed}
+        deleted_keys = {key for key in keys if key not in store}
+        assert committed_keys == deleted_keys
+        assert len(committed) == len(deleted_keys)
+        # ...with addresses in the *global* space: each delete report
+        # names exactly the global address its PUT landed on.
+        for report in committed:
+            assert report.address == put_address[report.key]
+        # The miss's own shard committed only its prefix; siblings all
+        # finished their sub-batches.
+        missing_shard = store.shard_of_key(b"missing")
+        for shard_id in range(store.n_shards):
+            shard_keys = [k for k in keys
+                          if store.shard_of_key(k) == shard_id]
+            survivors = [k for k in shard_keys if k in store]
+            if shard_id != missing_shard:
+                assert not survivors  # sibling sub-batch ran to completion
+
+
+class TestPoolExhaustionThroughEngine:
+    def test_committed_reports_prefix(self):
+        store = make_store(num_buckets=8, n_clusters=2, probe_limit=-1)
+        pairs = [(f"k{i}".encode(), value(i)) for i in range(12)]
+        with pytest.raises(PoolExhaustedError) as exc:
+            store.put_many(pairs)
+        committed = exc.value.committed_reports
+        assert len(committed) == 8
+        keys = [r.key.rstrip(b"\x00") for r in committed]
+        assert keys == [f"k{i}".encode() for i in range(8)]
+        for key in keys:
+            assert key in store

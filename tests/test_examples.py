@@ -29,6 +29,14 @@ def test_quickstart():
     assert "cells programmed" in out
 
 
+def test_streaming_ingest():
+    out = run_example(
+        "streaming_ingest.py", "--events", "300", "--buckets", "512"
+    )
+    assert "coalesced batches" in out
+    assert "cells programmed per PUT" in out
+
+
 def test_cctv_recorder():
     out = run_example("cctv_recorder.py", "--frames", "60", "--buffer", "40")
     assert "PNW saves" in out
