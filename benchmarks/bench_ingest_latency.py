@@ -1,0 +1,229 @@
+#!/usr/bin/env python
+"""Open-loop ingestion latency: p50/p99 under Poisson and bursty arrivals.
+
+The throughput bench (``bench_ingest_throughput``) is closed-loop — the
+driver waits for its own batches, so queueing delay is invisible.  A
+front door does not get that luxury: clients arrive when they arrive.
+This bench replays *scheduled* arrival processes against
+:class:`repro.IngestQueue` and measures each op's latency from its
+scheduled arrival time to its future resolving, which makes the
+coalescing tradeoff measurable: a larger ``max_delay`` buys bigger
+batches (throughput) at the price of ops waiting out the flush deadline
+(tail latency).
+
+Arrival processes:
+
+* ``poisson`` — exponential inter-arrival gaps at the target rate, the
+  classic open-loop model.
+* ``bursty``  — back-to-back bursts every ``burst / rate`` seconds, the
+  flash-crowd shape; same mean rate, much uglier instantaneous rate.
+
+Latencies are measured from the scheduled arrival (not the actual
+submit), so submitter lateness — including admission blocking — counts
+against the system, never hidden (no coordinated omission).  A watcher
+thread samples the queue's pending-op count throughout and the run
+fails if the admission window bound is ever exceeded.
+
+Run:
+
+    PYTHONPATH=src python benchmarks/bench_ingest_latency.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+
+import numpy as np
+
+from repro import IngestQueue
+from repro.bench import key_for, make_pnw_store, results_path
+from repro.workloads import make_workload
+
+
+def arrival_offsets(
+    kind: str, n: int, rate: float, burst: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Scheduled arrival times (seconds from stream start) for n ops."""
+    if kind == "poisson":
+        return np.cumsum(rng.exponential(1.0 / rate, size=n))
+    if kind == "bursty":
+        # Bursts of `burst` simultaneous ops, spaced to the same mean rate.
+        return np.repeat(
+            np.arange(int(np.ceil(n / burst))) * (burst / rate), burst
+        )[:n].astype(np.float64)
+    raise ValueError(f"unknown arrival process {kind!r}")
+
+
+class WindowWatcher:
+    """Samples ``queue.pending_ops`` and keeps the running maximum."""
+
+    def __init__(self, queue: IngestQueue) -> None:
+        self.queue = queue
+        self.max_seen = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self.max_seen = max(self.max_seen, self.queue.pending_ops)
+            time.sleep(0.0005)
+
+    def __enter__(self) -> "WindowWatcher":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join()
+
+
+def run_once(
+    store,
+    keys: list[bytes],
+    values: np.ndarray,
+    offsets: np.ndarray,
+    *,
+    max_batch: int,
+    max_delay: float,
+    max_pending: int,
+) -> dict:
+    """One open-loop replay; returns latency percentiles and counters."""
+    n = len(keys)
+    done_at = np.zeros(n, dtype=np.float64)
+    queue = IngestQueue(
+        store, max_batch=max_batch, max_delay=max_delay,
+        max_pending=max_pending, overload="block",
+    )
+    with WindowWatcher(queue) as watcher, queue:
+        start = time.monotonic()
+        for i in range(n):
+            delay = start + offsets[i] - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            queue.put(keys[i], values[i]).add_done_callback(
+                lambda future, i=i: done_at.__setitem__(i, time.monotonic())
+            )
+        queue.flush()
+    unresolved = int(np.count_nonzero(done_at == 0.0))
+    latencies = (done_at - (start + offsets)) * 1e3  # ms from scheduled arrival
+    return {
+        "p50": float(np.percentile(latencies, 50)),
+        "p99": float(np.percentile(latencies, 99)),
+        "max_pending_seen": watcher.max_seen,
+        "unresolved": unresolved,
+        "batches": queue.batches_dispatched,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small CI-smoke sizes (a few hundred ops)")
+    parser.add_argument("--workload", default="normal")
+    parser.add_argument("--rate", type=float, default=None,
+                        help="mean arrival rate, ops/s (default 2000; "
+                             "1000 with --quick)")
+    parser.add_argument("--burst", type=int, default=64,
+                        help="ops per burst for the bursty process")
+    parser.add_argument("--batch-size", type=int, default=128)
+    parser.add_argument("--n-clusters", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--probe-limit", type=int, default=64)
+    parser.add_argument("--shards", type=int, default=1)
+    parser.add_argument(
+        "--max-delays", default=None,
+        help="comma-separated max_delay sweep in seconds "
+             "(default 0.001,0.005,0.02; first two with --quick)",
+    )
+    parser.add_argument(
+        "--windows", default=None,
+        help="comma-separated max_pending sweep "
+             "(default 2x,8x batch; 4x with --quick)",
+    )
+    args = parser.parse_args(argv)
+
+    num_buckets = 2048 if args.quick else 8192
+    n_ops = 500 if args.quick else 4000
+    rate = args.rate or (1000.0 if args.quick else 2000.0)
+    if args.max_delays is not None:
+        max_delays = [float(piece) for piece in args.max_delays.split(",")]
+    else:
+        max_delays = [0.001, 0.005] if args.quick else [0.001, 0.005, 0.02]
+    if args.windows is not None:
+        windows = [int(piece) for piece in args.windows.split(",")]
+    else:
+        windows = (
+            [4 * args.batch_size]
+            if args.quick
+            else [2 * args.batch_size, 8 * args.batch_size]
+        )
+
+    workload = make_workload(args.workload, seed=args.seed)
+    old_values = workload.generate(num_buckets)
+    new_values = workload.generate(n_ops)
+    keys = [key_for(i) for i in range(n_ops)]
+    rng = np.random.default_rng(args.seed)
+
+    lines = [
+        f"workload={args.workload}  zone={num_buckets} buckets x "
+        f"{old_values.shape[1]}B values  ops={n_ops}  rate={rate:g}/s  "
+        f"burst={args.burst}  batch={args.batch_size}  "
+        f"K={args.n_clusters}  probe_limit={args.probe_limit}  "
+        f"shards={args.shards}  overload=block",
+        f"{'arrivals':>8} {'max_delay':>10} {'window':>7} "
+        f"{'p50 ms':>8} {'p99 ms':>8} {'peak pend':>9} {'batches':>8}",
+    ]
+    print("\n".join(lines))
+
+    failures = 0
+    for arrivals in ("poisson", "bursty"):
+        offsets = arrival_offsets(arrivals, n_ops, rate, args.burst, rng)
+        for window in windows:
+            for max_delay in max_delays:
+                store = make_pnw_store(
+                    num_buckets, old_values.shape[1], args.n_clusters,
+                    seed=args.seed, probe_limit=args.probe_limit,
+                    shards=args.shards,
+                )
+                store.warm_up(old_values)
+                stats = run_once(
+                    store, keys, new_values, offsets,
+                    max_batch=args.batch_size, max_delay=max_delay,
+                    max_pending=window,
+                )
+                bound_ok = stats["max_pending_seen"] <= window
+                resolved_ok = stats["unresolved"] == 0
+                flag = "" if bound_ok and resolved_ok else "  VIOLATION"
+                lines.append(
+                    f"{arrivals:>8} {format(max_delay, 'g') + 's':>10} "
+                    f"{window:>7} {stats['p50']:8.2f} {stats['p99']:8.2f} "
+                    f"{stats['max_pending_seen']:>9} "
+                    f"{stats['batches']:>8}{flag}"
+                )
+                print(lines[-1])
+                if not bound_ok:
+                    print(
+                        f"ERROR: pending window {stats['max_pending_seen']} "
+                        f"exceeded max_pending={window}", file=sys.stderr,
+                    )
+                    failures += 1
+                if not resolved_ok:
+                    print(
+                        f"ERROR: {stats['unresolved']} futures never "
+                        "resolved", file=sys.stderr,
+                    )
+                    failures += 1
+                if hasattr(store, "close"):
+                    store.close()
+
+    saved = results_path("bench-ingest-latency")
+    saved.write_text("\n".join(lines) + "\n")
+    print(f"saved {saved}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,14 +31,17 @@ from .core import (
 from .errors import (
     CapacityError,
     ConfigError,
+    DeadlineExceededError,
     DuplicateKeyError,
     KeyNotFoundError,
     NotFittedError,
     PoolExhaustedError,
+    QueueClosedError,
+    QueueFullError,
     ReproError,
 )
 from .engine import MutationEngine
-from .ingest import IngestQueue
+from .ingest import AsyncIngestQueue, IngestQueue
 from .ml import PCA, KMeans, MiniBatchKMeans, choose_k
 from .nvm import HybridMemory, LatencyModel, SimulatedNVM, WearStats
 from .shard import ShardedPNWStore, make_store
@@ -64,6 +67,7 @@ __all__ = [
     "ModelManager",
     "MutationEngine",
     "IngestQueue",
+    "AsyncIngestQueue",
     "KMeans",
     "MiniBatchKMeans",
     "PCA",
@@ -85,5 +89,8 @@ __all__ = [
     "PoolExhaustedError",
     "NotFittedError",
     "ConfigError",
+    "QueueFullError",
+    "QueueClosedError",
+    "DeadlineExceededError",
     "__version__",
 ]

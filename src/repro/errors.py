@@ -15,6 +15,9 @@ __all__ = [
     "PoolExhaustedError",
     "NotFittedError",
     "ConfigError",
+    "QueueFullError",
+    "QueueClosedError",
+    "DeadlineExceededError",
 ]
 
 
@@ -47,3 +50,20 @@ class NotFittedError(ReproError):
 
 class ConfigError(ReproError):
     """A configuration value is invalid or inconsistent."""
+
+
+class QueueFullError(ReproError):
+    """The ingestion queue's admission window is full (``shed`` policy)."""
+
+
+class QueueClosedError(ReproError, RuntimeError):
+    """An operation was submitted to (or blocked in) a closed queue.
+
+    Also a :class:`RuntimeError` so pre-backpressure callers that caught
+    ``RuntimeError`` on submit-after-close keep working.
+    """
+
+
+class DeadlineExceededError(ReproError):
+    """An op's admission deadline passed before its batch was dispatched
+    (``deadline`` policy): the op was never applied to the store."""

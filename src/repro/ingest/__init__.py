@@ -1,5 +1,6 @@
-"""Async coalescing ingestion over the staged write-path engine."""
+"""Admission layer: multi-producer coalescing ingestion with backpressure."""
 
+from .aio import AsyncIngestQueue
 from .queue import IngestQueue
 
-__all__ = ["IngestQueue"]
+__all__ = ["IngestQueue", "AsyncIngestQueue"]

@@ -1,0 +1,150 @@
+"""``asyncio``-native facade over :class:`~repro.ingest.IngestQueue`.
+
+:class:`AsyncIngestQueue` lets event-loop code (an HTTP front end, a
+gateway, a CDC consumer) drive the store with plain ``await``s while the
+futures-based core keeps coalescing ops into per-shard batches on its
+own flusher thread:
+
+* ``await queue.put/update/delete(...)`` resolves to the op's
+  :class:`~repro.core.reports.OperationReport` (or raises the op's
+  error — :class:`~repro.errors.KeyNotFoundError`,
+  :class:`~repro.errors.QueueFullError`, ...), exactly like calling
+  ``.result()`` on the core queue's future.
+* The event loop never blocks: submissions that can wait for an
+  admission slot (``block`` and ``deadline`` overload policies) run on
+  an executor thread; ``shed`` submissions are non-blocking and run
+  inline.  Batch execution always happens on the core queue's flusher
+  thread, and completion hops back to the loop via
+  :func:`asyncio.wrap_future`.
+* Cancelling a pending ``await`` abandons the *result*, not the batch:
+  an admitted op still executes (admission is the serialization point),
+  the core queue simply skips resolving the cancelled future.  Sibling
+  ops in the same batch are unaffected.
+
+The facade owns its core queue only if it built it: pass a ``store`` to
+let it construct (and on ``close`` tear down) an :class:`IngestQueue`
+with the given knobs, or pass an existing ``queue=`` to share one
+admission layer between sync producers and the event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Future
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..core.reports import OperationReport
+from .queue import IngestQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.store import PNWStore
+    from ..shard.store import ShardedPNWStore
+
+__all__ = ["AsyncIngestQueue"]
+
+
+class AsyncIngestQueue:
+    """Awaitable PUT/UPDATE/DELETE/GET over a coalescing ingest queue.
+
+    Parameters
+    ----------
+    store:
+        Build a fresh :class:`IngestQueue` over this store; every extra
+        keyword argument (``max_batch``, ``max_delay``, ``max_pending``,
+        ``overload``, ...) is forwarded to it.  Mutually exclusive with
+        ``queue``.
+    queue:
+        Adopt an existing core queue instead.  :meth:`close` closes it
+        either way (there is one admission layer; closing the facade
+        closes the front door).
+    """
+
+    def __init__(
+        self,
+        store: "PNWStore | ShardedPNWStore | None" = None,
+        *,
+        queue: IngestQueue | None = None,
+        **queue_kwargs: Any,
+    ) -> None:
+        if (store is None) == (queue is None):
+            raise ValueError("pass exactly one of store= or queue=")
+        if queue is not None and queue_kwargs:
+            raise ValueError(
+                "queue options belong to the adopted queue; "
+                f"got {sorted(queue_kwargs)}"
+            )
+        self.queue = queue if queue is not None else IngestQueue(
+            store, **queue_kwargs
+        )
+
+    # ------------------------------------------------------------------ #
+    # ops                                                                 #
+    # ------------------------------------------------------------------ #
+
+    async def put(
+        self, key: bytes, value: bytes | np.ndarray
+    ) -> OperationReport:
+        """Awaitable PUT; resolves when the op's batch has executed."""
+        return await self._bridge(self.queue.put, key, value)
+
+    async def update(
+        self, key: bytes, value: bytes | np.ndarray
+    ) -> OperationReport:
+        """Awaitable UPDATE (missing key raises ``KeyNotFoundError``)."""
+        return await self._bridge(self.queue.update, key, value)
+
+    async def delete(self, key: bytes) -> OperationReport:
+        """Awaitable DELETE (missing key raises ``KeyNotFoundError``)."""
+        return await self._bridge(self.queue.delete, key)
+
+    async def get(self, key: bytes) -> bytes:
+        """Awaitable GET, off-loop (reads serialize with dispatch)."""
+        return await asyncio.get_running_loop().run_in_executor(
+            None, self.queue.get, key
+        )
+
+    async def _bridge(self, submit, *args) -> OperationReport:
+        """Submit off-loop when admission can block, then await the op."""
+        loop = asyncio.get_running_loop()
+        if self.queue.overload == "shed":
+            # Non-blocking admission: QueueFullError raises right here.
+            future: Future = submit(*args)
+        else:
+            # block/deadline admission may wait for a window slot; keep
+            # that wait off the event loop.
+            future = await loop.run_in_executor(None, submit, *args)
+        return await asyncio.wrap_future(future, loop=loop)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                           #
+    # ------------------------------------------------------------------ #
+
+    async def flush(self) -> None:
+        """Dispatch everything pending and wait for it to execute."""
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.queue.flush
+        )
+
+    async def close(self) -> None:
+        """Close the core queue off-loop (drains, resolves every future).
+
+        Outstanding ``await``s finish from the drain — results for
+        admitted ops, :class:`~repro.errors.QueueClosedError` for
+        anything the drain could not apply.
+        """
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.queue.close
+        )
+
+    async def __aenter__(self) -> "AsyncIngestQueue":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    @property
+    def pending_ops(self) -> int:
+        """Ops admitted but not yet dispatched."""
+        return self.queue.pending_ops

@@ -38,14 +38,22 @@ completion, then the lowest-shard error is re-raised (with
 Whole-store ``crash()`` / ``recover()`` delegate per shard; a torn
 shard loses only its own unflagged operations.
 
-One sharded store must be driven from one thread at a time; the
-concurrency here is *internal* (across shards within one call).
+Reentrancy: each shard's engine is guarded by its own lock, so K/V
+calls (single ops, ``*_many`` batches, ``run_shard_batches``, ``get``)
+may be issued from several threads concurrently — the ingestion layer's
+multi-producer front door relies on this.  Concurrent calls interleave
+at sub-batch granularity per shard with no cross-call ordering promise;
+callers that need a global order (like
+:class:`~repro.ingest.IngestQueue`'s drain) must serialize themselves.
+Lifecycle calls (``warm_up`` / ``retrain`` / ``crash`` / ``recover``)
+still require a quiesced store.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Iterable
 
@@ -121,6 +129,9 @@ class ShardedPNWStore:
         sizes = [shard_config.num_buckets for shard_config in configs]
         #: Global base address of each shard's zone (plus a total sentinel).
         self.shard_bases = np.concatenate(([0], np.cumsum(sizes)))
+        #: One lock per shard engine: concurrent K/V calls from several
+        #: threads serialize per shard, never against the whole store.
+        self._shard_locks = [threading.Lock() for _ in self.stores]
         # Size the pool to the CPUs this process can actually run on: on
         # a single-CPU host threads only add GIL churn, so sub-batches
         # run serially there (the per-shard probe-set reduction is the
@@ -247,9 +258,16 @@ class ShardedPNWStore:
         for shard_id, positions in enumerate(groups):
             if positions:
                 sub = [items[position] for position in positions]
-                tasks[shard_id] = (
-                    lambda store=self.stores[shard_id], sub=sub: op(store, sub)
-                )
+
+                def task(
+                    store=self.stores[shard_id],
+                    sub=sub,
+                    lock=self._shard_locks[shard_id],
+                ):
+                    with lock:
+                        return op(store, sub)
+
+                tasks[shard_id] = task
         results, errors = self._map_shards(tasks)
         if errors:
             self._raise_merged(errors, results)
@@ -274,8 +292,11 @@ class ShardedPNWStore:
 
         Returns, per shard, one ``(reports, error)`` pair per run —
         reports (and any ``committed_reports`` stamped on an error) are
-        remapped to global addresses.  The caller must be the store's
-        single driving thread, like every other mutation entry point.
+        remapped to global addresses.  Reentrant: each shard's run
+        sequence executes under that shard's lock, so concurrent calls
+        (and concurrent single-op/``get`` traffic) are safe, though a
+        shard's runs from different calls interleave in lock-acquisition
+        order — callers needing a strict global order must serialize.
         """
         def run_shard(shard_id: int, runs: list[tuple[str, list]]):
             store = self.stores[shard_id]
@@ -286,23 +307,24 @@ class ShardedPNWStore:
             }
             outcomes: list[tuple[list[OperationReport] | None,
                                  BaseException | None]] = []
-            for kind, items in runs:
-                try:
-                    reports = ops[kind](items)
-                except Exception as exc:  # noqa: BLE001 - routed to futures
-                    committed = getattr(exc, "committed_reports", None)
-                    if committed is not None:
-                        exc.committed_reports = [
-                            self._globalize(shard_id, report)
-                            for report in committed
-                        ]
-                    outcomes.append((None, exc))
-                else:
-                    outcomes.append((
-                        [self._globalize(shard_id, report)
-                         for report in reports],
-                        None,
-                    ))
+            with self._shard_locks[shard_id]:
+                for kind, items in runs:
+                    try:
+                        reports = ops[kind](items)
+                    except Exception as exc:  # noqa: BLE001 - routed to futures
+                        committed = getattr(exc, "committed_reports", None)
+                        if committed is not None:
+                            exc.committed_reports = [
+                                self._globalize(shard_id, report)
+                                for report in committed
+                            ]
+                        outcomes.append((None, exc))
+                    else:
+                        outcomes.append((
+                            [self._globalize(shard_id, report)
+                             for report in reports],
+                            None,
+                        ))
             return outcomes
 
         tasks = {
@@ -380,14 +402,18 @@ class ShardedPNWStore:
     def put(self, key: bytes, value: bytes | np.ndarray) -> OperationReport:
         """Route one PUT to its shard (Algorithm 2 there)."""
         shard_id = self.shard_of_key(key)
-        return self._globalize(shard_id, self.stores[shard_id].put(key, value))
+        with self._shard_locks[shard_id]:
+            return self._globalize(
+                shard_id, self.stores[shard_id].put(key, value)
+            )
 
     def put_unique(self, key: bytes, value: bytes | np.ndarray) -> OperationReport:
         """PUT that refuses to overwrite, routed to the owning shard."""
         shard_id = self.shard_of_key(key)
-        return self._globalize(
-            shard_id, self.stores[shard_id].put_unique(key, value)
-        )
+        with self._shard_locks[shard_id]:
+            return self._globalize(
+                shard_id, self.stores[shard_id].put_unique(key, value)
+            )
 
     def put_many(
         self,
@@ -446,18 +472,28 @@ class ShardedPNWStore:
     def update(self, key: bytes, value: bytes | np.ndarray) -> OperationReport:
         """Route one UPDATE to its shard."""
         shard_id = self.shard_of_key(key)
-        return self._globalize(
-            shard_id, self.stores[shard_id].update(key, value)
-        )
+        with self._shard_locks[shard_id]:
+            return self._globalize(
+                shard_id, self.stores[shard_id].update(key, value)
+            )
 
     def delete(self, key: bytes) -> OperationReport:
         """Route one DELETE to its shard (Algorithm 3 there)."""
         shard_id = self.shard_of_key(key)
-        return self._globalize(shard_id, self.stores[shard_id].delete(key))
+        with self._shard_locks[shard_id]:
+            return self._globalize(
+                shard_id, self.stores[shard_id].delete(key)
+            )
 
     def get(self, key: bytes) -> bytes:
-        """Route a GET to its shard: index lookup + data-zone read."""
-        return self.stores[self.shard_of_key(key)].get(key)
+        """Route a GET to its shard: index lookup + data-zone read.
+
+        Takes only the owning shard's lock, so reads proceed
+        concurrently with other shards' writes.
+        """
+        shard_id = self.shard_of_key(key)
+        with self._shard_locks[shard_id]:
+            return self.stores[shard_id].get(key)
 
     # ------------------------------------------------------------------ #
     # aggregation / introspection                                         #

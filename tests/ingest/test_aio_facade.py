@@ -1,0 +1,227 @@
+"""Event-loop behavior of :class:`repro.AsyncIngestQueue`.
+
+Awaitable put/update/delete/get bridge the futures-based core without
+blocking the loop; cancellation of a pending awaitable never poisons
+its batch; ``close()`` under outstanding awaits resolves them all.
+Plus a real-socket smoke test of ``examples/serve_http.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import AsyncIngestQueue, IngestQueue, PNWConfig, PNWStore
+from repro.errors import KeyNotFoundError, QueueClosedError, QueueFullError
+from repro.shard import ShardedPNWStore
+from tests.conftest import clustered_values
+
+EXAMPLES = Path(__file__).resolve().parent.parent.parent / "examples"
+
+
+def make_config(shards: int = 1, **overrides) -> PNWConfig:
+    base = dict(
+        num_buckets=256,
+        value_bytes=24,
+        key_bytes=16,
+        n_clusters=4,
+        seed=7,
+        n_init=1,
+        max_iter=20,
+        shards=shards,
+    )
+    base.update(overrides)
+    return PNWConfig(**base)
+
+
+def build_store(config: PNWConfig):
+    store = (
+        PNWStore(config) if config.shards == 1 else ShardedPNWStore(config)
+    )
+    rng = np.random.default_rng(42)
+    store.warm_up(clustered_values(rng, config.num_buckets, config.value_bytes))
+    return store
+
+
+class TestAwaitables:
+    def test_mutations_and_reads_round_trip(self):
+        async def main():
+            store = build_store(make_config(shards=4))
+            async with AsyncIngestQueue(
+                store, max_batch=8, max_delay=0.002
+            ) as queue:
+                report = await queue.put(b"k1", b"hello")
+                assert report.op == "put"
+                assert (await queue.get(b"k1")).startswith(b"hello")
+                report = await queue.update(b"k1", b"world")
+                # Endurance-mode updates report as the delete+put's put.
+                assert report.op in ("update", "put")
+                assert (await queue.get(b"k1")).startswith(b"world")
+                report = await queue.delete(b"k1")
+                assert report.op == "delete"
+                with pytest.raises(KeyNotFoundError):
+                    await queue.get(b"k1")
+            store.close()
+
+        asyncio.run(main())
+
+    def test_concurrent_awaits_resolve_in_admission_order(self):
+        """Futures of one coalesced batch resolve in submission order."""
+        async def main():
+            store = build_store(make_config())
+            queue = AsyncIngestQueue(
+                store, max_batch=4096, max_delay=60.0, autostart=False
+            )
+            completion_order: list[int] = []
+
+            async def one_put(i: int):
+                report = await queue.put(f"k{i}".encode(), b"v%d" % i)
+                completion_order.append(i)
+                return report
+
+            tasks = [asyncio.ensure_future(one_put(i)) for i in range(12)]
+            await asyncio.sleep(0.1)
+            assert not any(task.done() for task in tasks)
+            assert queue.pending_ops == 12
+            await queue.flush()
+            reports = await asyncio.gather(*tasks)
+            assert [r.op for r in reports] == ["put"] * 12
+            assert completion_order == list(range(12))
+            await queue.close()
+
+        asyncio.run(main())
+
+    def test_missing_key_raises_through_await(self):
+        async def main():
+            store = build_store(make_config())
+            async with AsyncIngestQueue(
+                store, max_batch=8, max_delay=0.002
+            ) as queue:
+                with pytest.raises(KeyNotFoundError):
+                    await queue.delete(b"never-existed")
+
+        asyncio.run(main())
+
+    def test_shed_overload_raises_in_the_coroutine(self):
+        async def main():
+            store = build_store(make_config())
+            queue = AsyncIngestQueue(
+                store, max_batch=4096, max_delay=60.0, autostart=False,
+                max_pending=2, overload="shed",
+            )
+            t1 = asyncio.ensure_future(queue.put(b"a", b"1"))
+            t2 = asyncio.ensure_future(queue.put(b"b", b"2"))
+            await asyncio.sleep(0.05)  # both admitted, window now full
+            with pytest.raises(QueueFullError):
+                await queue.put(b"c", b"3")
+            await queue.close()
+            await asyncio.gather(t1, t2)
+            assert b"c" not in store
+
+        asyncio.run(main())
+
+    def test_constructor_validation(self):
+        store = build_store(make_config())
+        queue = IngestQueue(store, autostart=False)
+        with pytest.raises(ValueError, match="exactly one"):
+            AsyncIngestQueue(store, queue=queue)
+        with pytest.raises(ValueError, match="exactly one"):
+            AsyncIngestQueue()
+        with pytest.raises(ValueError, match="adopted"):
+            AsyncIngestQueue(queue=queue, max_batch=8)
+        adopted = AsyncIngestQueue(queue=queue)
+        assert adopted.queue is queue
+        queue.close()
+
+
+class TestCancellation:
+    def test_cancelled_await_does_not_poison_the_batch(self):
+        async def main():
+            store = build_store(make_config())
+            queue = AsyncIngestQueue(
+                store, max_batch=4096, max_delay=60.0, autostart=False
+            )
+            doomed = asyncio.ensure_future(queue.put(b"cancelled", b"1"))
+            survivor = asyncio.ensure_future(queue.put(b"kept", b"2"))
+            await asyncio.sleep(0.1)  # both admitted into the lane
+            doomed.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+            await queue.flush()
+            # The cancelled op was already admitted, so it still
+            # executed; only its result was abandoned.  Its batch-mate
+            # resolved normally and the queue keeps working.
+            assert (await survivor).op == "put"
+            assert (await queue.get(b"cancelled")).startswith(b"1")
+            after = asyncio.ensure_future(queue.put(b"after", b"3"))
+            await asyncio.sleep(0.05)  # admitted; paused queue holds it
+            await queue.flush()
+            assert (await after).op == "put"
+            await queue.close()
+
+        asyncio.run(main())
+
+
+class TestClose:
+    def test_close_resolves_outstanding_awaits(self):
+        async def main():
+            store = build_store(make_config())
+            queue = AsyncIngestQueue(
+                store, max_batch=4096, max_delay=60.0, autostart=False
+            )
+            tasks = [
+                asyncio.ensure_future(queue.put(f"k{i}".encode(), b"v"))
+                for i in range(6)
+            ]
+            await asyncio.sleep(0.1)
+            assert not any(task.done() for task in tasks)
+            await queue.close()  # drains; every await finishes
+            reports = await asyncio.gather(*tasks)
+            assert [r.op for r in reports] == ["put"] * 6
+            with pytest.raises(QueueClosedError):
+                await queue.put(b"late", b"v")
+
+        asyncio.run(main())
+
+    def test_close_with_dead_dispatch_rejects_awaits(self):
+        async def main():
+            store = build_store(make_config())
+
+            def broken(pairs, **kwargs):
+                raise RuntimeError("store is gone")
+
+            queue = AsyncIngestQueue(
+                store, max_batch=4096, max_delay=60.0, autostart=False
+            )
+            task = asyncio.ensure_future(queue.put(b"k", b"v"))
+            await asyncio.sleep(0.1)
+            store.put_many = broken
+            await queue.close()
+            with pytest.raises(RuntimeError, match="store is gone"):
+                await task
+
+        asyncio.run(main())
+
+
+class TestServeHttpExample:
+    def test_demo_over_a_real_socket(self):
+        """The asyncio HTTP front door serves concurrent mixed traffic
+        over an actual TCP socket with zero read-your-write mismatches."""
+        result = subprocess.run(
+            [
+                sys.executable, str(EXAMPLES / "serve_http.py"), "--demo",
+                "--clients", "6", "--requests", "12", "--buckets", "512",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "serving on 127.0.0.1:" in result.stdout
+        assert "6 concurrent clients" in result.stdout
+        assert "read-your-write mismatches=0" in result.stdout

@@ -1,0 +1,433 @@
+"""Backpressure and lifecycle properties of the admission window.
+
+Pins the three overload policies' contracts: the pending window never
+exceeds its bound, ``block`` preserves per-producer FIFO, ``shed`` and
+``deadline`` rejections never leave partially-applied ops in the store,
+crash-mid-overload recovery drains cleanly, and ``close()``
+deterministically resolves every future — including during an in-flight
+flush and when the dispatch machinery itself dies.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import IngestQueue, PNWConfig, PNWStore, ShardedPNWStore
+from repro.errors import (
+    DeadlineExceededError,
+    QueueClosedError,
+    QueueFullError,
+    ReproError,
+)
+from tests.conftest import clustered_values
+
+
+def make_config(shards: int = 1, **overrides) -> PNWConfig:
+    base = dict(
+        num_buckets=256,
+        value_bytes=24,
+        key_bytes=8,
+        n_clusters=4,
+        seed=7,
+        n_init=1,
+        max_iter=20,
+        shards=shards,
+    )
+    base.update(overrides)
+    return PNWConfig(**base)
+
+
+def build_store(config: PNWConfig):
+    store = (
+        PNWStore(config) if config.shards == 1 else ShardedPNWStore(config)
+    )
+    rng = np.random.default_rng(42)
+    store.warm_up(clustered_values(rng, config.num_buckets, config.value_bytes))
+    return store
+
+
+def assert_stores_equal(direct, other) -> None:
+    direct_shards = (
+        direct.stores if isinstance(direct, ShardedPNWStore) else [direct]
+    )
+    other_shards = (
+        other.stores if isinstance(other, ShardedPNWStore) else [other]
+    )
+    for a, b in zip(direct_shards, other_shards):
+        assert np.array_equal(a.nvm.snapshot(), b.nvm.snapshot())
+        assert np.array_equal(a.flags_nvm.snapshot(), b.flags_nvm.snapshot())
+        assert dict(a.index.items()) == dict(b.index.items())
+        assert a.pool._free_lists == b.pool._free_lists
+
+
+def pairs_for(n: int, prefix: str = "k"):
+    rng = np.random.default_rng(5)
+    values = clustered_values(rng, n, 24, flip_rate=0.05)
+    return [(f"{prefix}{i}".encode(), values[i].tobytes()) for i in range(n)]
+
+
+class TestWindowBound:
+    def test_shed_rejects_at_the_bound(self):
+        store = build_store(make_config())
+        queue = IngestQueue(
+            store, autostart=False, max_batch=4096, max_pending=8,
+            overload="shed",
+        )
+        pairs = pairs_for(8)
+        futures = [queue.put(key, value) for key, value in pairs]
+        assert queue.pending_ops == 8
+        with pytest.raises(QueueFullError):
+            queue.put(b"overflow", b"v")
+        assert queue.ops_rejected == 1
+        # Dispatch frees the window; admission works again.
+        queue.flush()
+        assert queue.pending_ops == 0
+        ok = queue.put(b"later", b"v")
+        queue.close()
+        for future in futures:
+            assert future.result(timeout=10).op == "put"
+        assert ok.result(timeout=10).op == "put"
+
+    def test_validation(self):
+        store = build_store(make_config())
+        with pytest.raises(ValueError, match="max_pending"):
+            IngestQueue(store, max_pending=0)
+        with pytest.raises(ValueError, match="overload"):
+            IngestQueue(store, overload="panic")
+        with pytest.raises(ValueError, match="admission_timeout"):
+            IngestQueue(store, overload="deadline", admission_timeout=0.0)
+
+    @pytest.mark.parametrize("overload", ["block", "shed"])
+    def test_window_never_exceeds_bound_under_hammering(self, overload):
+        """Property: however many producers race, pending <= max_pending."""
+        store = build_store(make_config(shards=4))
+        queue = IngestQueue(
+            store, max_batch=8, max_delay=0.001, max_pending=16,
+            overload=overload,
+        )
+        pairs = pairs_for(120)
+        violations: list[int] = []
+
+        def producer(start: int) -> None:
+            for key, value in pairs[start::6]:
+                while True:
+                    try:
+                        queue.put(key, value)
+                        break
+                    except QueueFullError:
+                        time.sleep(0.0005)
+                seen = queue.pending_ops
+                if seen > 16:
+                    violations.append(seen)
+
+        threads = [
+            threading.Thread(target=producer, args=(i,)) for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        queue.close()
+        assert not violations
+        store.close()
+
+
+class TestBlockPolicy:
+    def test_blocked_producer_waits_then_proceeds(self):
+        store = build_store(make_config())
+        queue = IngestQueue(
+            store, autostart=False, max_batch=4096, max_pending=4,
+        )
+        pairs = pairs_for(5)
+        futures = [queue.put(key, value) for key, value in pairs[:4]]
+        blocked_entered = threading.Event()
+        late: list = []
+
+        def blocked_producer() -> None:
+            blocked_entered.set()
+            late.append(queue.put(*pairs[4]))
+
+        thread = threading.Thread(target=blocked_producer)
+        thread.start()
+        blocked_entered.wait(5)
+        time.sleep(0.05)
+        assert thread.is_alive()  # stuck in the full window
+        assert queue.pending_ops == 4
+        queue.flush()  # frees the window -> producer admitted
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        queue.close()
+        for future in futures + late:
+            assert future.result(timeout=10).op == "put"
+        # Per-producer FIFO: the single producer's order is the admitted
+        # order, so the store matches a sequential oracle of its stream.
+        oracle = build_store(make_config())
+        oracle.put_many(pairs)
+        assert_stores_equal(oracle, store)
+
+    def test_per_producer_fifo_per_shard(self):
+        """Each producer's ops reach its shard in submission order."""
+        from tests.ingest.test_concurrent_producers import RecordingQueue
+
+        store = build_store(make_config(shards=4))
+        queue = RecordingQueue(
+            store, max_batch=8, max_delay=0.001, max_pending=16,
+        )
+        n_producers, n_ops = 4, 30
+        streams = [
+            [(f"p{p}-{i}".encode(), bytes([p, i]) * 12) for i in range(n_ops)]
+            for p in range(n_producers)
+        ]
+        threads = [
+            threading.Thread(
+                target=lambda s=stream: [queue.put(k, v) for k, v in s]
+            )
+            for stream in streams
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        queue.close()
+
+        for shard_id, runs in queue.journal.items():
+            admitted = [
+                key for kind, items in runs for key, _ in items
+            ]
+            for p in range(n_producers):
+                mine = [k for k in admitted if k.startswith(f"p{p}-".encode())]
+                expected = [
+                    k for k, _ in streams[p]
+                    if store.shard_of_key(k) == shard_id
+                ]
+                assert mine == expected
+        store.close()
+
+
+class TestRejectionAtomicity:
+    def test_shed_rejection_never_touches_the_store(self):
+        store = build_store(make_config())
+        queue = IngestQueue(
+            store, autostart=False, max_batch=4096, max_pending=8,
+            overload="shed",
+        )
+        pairs = pairs_for(8)
+        for key, value in pairs:
+            queue.put(key, value)
+        with pytest.raises(QueueFullError):
+            queue.put(b"victim", b"never-applied")
+        queue.close()
+        assert b"victim" not in store
+        assert len(store) == 8
+        oracle = build_store(make_config())
+        oracle.put_many(pairs)
+        assert_stores_equal(oracle, store)
+
+    def test_deadline_expired_ops_rejected_not_applied(self):
+        store = build_store(make_config())
+        queue = IngestQueue(
+            store, autostart=False, max_batch=4096,
+            overload="deadline", admission_timeout=0.05,
+        )
+        doomed = queue.put(b"doomed", b"x")
+        time.sleep(0.12)  # past the admission deadline
+        survivor = queue.put(b"survivor", b"y")
+        queue.flush()
+        with pytest.raises(DeadlineExceededError):
+            doomed.result(timeout=10)
+        assert survivor.result(timeout=10).op == "put"
+        assert queue.ops_rejected == 1
+        queue.close()
+        assert b"doomed" not in store
+        assert b"survivor" in store
+        # Only the survivor's op ever reached the store.
+        oracle = build_store(make_config())
+        oracle.put(b"survivor", b"y")
+        assert_stores_equal(oracle, store)
+
+    def test_deadline_blocked_admission_rejects_after_timeout(self):
+        store = build_store(make_config())
+        queue = IngestQueue(
+            store, autostart=False, max_batch=4096, max_pending=2,
+            overload="deadline", admission_timeout=0.05,
+        )
+        first = queue.put(b"a", b"1")
+        second = queue.put(b"b", b"2")
+        started = time.monotonic()
+        with pytest.raises(DeadlineExceededError):
+            queue.put(b"c", b"3")
+        assert time.monotonic() - started >= 0.04
+        queue.close()
+        # The rejected op never reached the store; the admitted two
+        # either made their own deadline (applied) or expired (not
+        # applied) — waiting out "c" put them right at the boundary.
+        assert b"c" not in store
+        for key, future in ((b"a", first), (b"b", second)):
+            if future.exception() is None:
+                assert key in store
+            else:
+                assert isinstance(future.exception(), DeadlineExceededError)
+                assert key not in store
+
+
+class TestCrashMidOverload:
+    def test_recovery_drains_backlog_and_blocked_producer(self):
+        """A full window at crash time drains cleanly into the
+        recovered store, and the producer stuck in the window follows."""
+        config = make_config(persist_flags=True)
+        store = build_store(config)
+        queue = IngestQueue(
+            store, autostart=False, max_batch=4096, max_pending=8,
+        )
+        pairs = pairs_for(12)
+        backlog = [queue.put(key, value) for key, value in pairs[:8]]
+        blocked: list = []
+
+        def blocked_producer() -> None:
+            for key, value in pairs[8:]:
+                blocked.append(queue.put(key, value))
+
+        thread = threading.Thread(target=blocked_producer)
+        thread.start()
+        time.sleep(0.05)
+        assert thread.is_alive()  # window full, producer waiting
+
+        store.crash()
+        store.recover()
+        queue.flush()  # drains the backlog; frees slots for the producer
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        queue.close()
+
+        for future in backlog + blocked:
+            assert future.result(timeout=10).op == "put"
+        # Nothing had flushed before the crash, so every op landed in
+        # the *recovered* store — the oracle crashes first, then applies
+        # the whole admitted sequence.
+        oracle = build_store(make_config(persist_flags=True))
+        oracle.crash()
+        oracle.recover()
+        oracle.put_many(pairs[:8])
+        oracle.put_many(pairs[8:])
+        assert_stores_equal(oracle, store)
+
+
+class TestCloseDeterminism:
+    def test_close_during_flush_resolves_everything(self):
+        """Regression: close() racing an in-flight dispatch must wait it
+        out and resolve every future — never hang, never drop one."""
+        store = build_store(make_config())
+        original = store.put_many
+        entered = threading.Event()
+
+        def slow_put_many(pairs, **kwargs):
+            entered.set()
+            time.sleep(0.2)
+            return original(pairs, **kwargs)
+
+        store.put_many = slow_put_many
+        queue = IngestQueue(store, max_batch=4, max_delay=0.001)
+        early = [queue.put(key, value) for key, value in pairs_for(4, "a")]
+        assert entered.wait(5)  # flusher is mid-dispatch
+        late = [queue.put(key, value) for key, value in pairs_for(3, "b")]
+        queue.close()  # must wait out the dispatch and drain the rest
+        for future in early + late:
+            assert future.result(timeout=1).op == "put"
+        assert len(store) == 7
+
+    def test_close_wakes_blocked_producers(self):
+        store = build_store(make_config())
+        queue = IngestQueue(
+            store, autostart=False, max_batch=4096, max_pending=2,
+        )
+        queue.put(b"a", b"1")
+        queue.put(b"b", b"2")
+        outcome: list = []
+
+        def blocked_producer() -> None:
+            try:
+                queue.put(b"c", b"3")
+                outcome.append("admitted")
+            except QueueClosedError:
+                outcome.append("closed")
+
+        thread = threading.Thread(target=blocked_producer)
+        thread.start()
+        time.sleep(0.05)
+        queue.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert outcome == ["closed"]
+        # The admitted backlog still drained.
+        assert b"a" in store and b"b" in store and b"c" not in store
+
+    def test_dead_dispatch_rejects_instead_of_hanging(self):
+        """If the dispatch machinery itself dies, close() rejects the
+        affected futures deterministically instead of stranding them."""
+        store = build_store(make_config(shards=4))
+        queue = IngestQueue(store, autostart=False, max_batch=4096)
+        futures = [queue.put(key, value) for key, value in pairs_for(6)]
+
+        def broken(batches):
+            raise RuntimeError("shard executor is gone")
+
+        store.run_shard_batches = broken
+        queue.close()  # must not raise and must not hang
+        for future in futures:
+            with pytest.raises(RuntimeError, match="shard executor"):
+                future.result(timeout=1)
+        store.close()
+
+    def test_flusher_survives_a_dispatch_failure(self):
+        """A batch that explodes in dispatch doesn't kill the flusher:
+        later submissions still drain."""
+        store = build_store(make_config())
+        original = store.put_many
+        calls = {"n": 0}
+
+        def flaky_put_many(pairs, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient dispatch failure")
+            return original(pairs, **kwargs)
+
+        store.put_many = flaky_put_many
+        with IngestQueue(store, max_batch=4096, max_delay=0.005) as queue:
+            doomed = queue.put(b"doomed", b"x")
+            with pytest.raises(RuntimeError, match="transient"):
+                doomed.result(timeout=10)
+            ok = queue.put(b"fine", b"y")
+            assert ok.result(timeout=10).op == "put"
+        assert b"fine" in store
+
+    def test_submit_after_close_is_repro_and_runtime_error(self):
+        store = build_store(make_config())
+        queue = IngestQueue(store, max_batch=16)
+        queue.close()
+        with pytest.raises(QueueClosedError):
+            queue.put(b"k", b"v")
+        assert issubclass(QueueClosedError, ReproError)
+        assert issubclass(QueueClosedError, RuntimeError)
+
+    def test_close_is_idempotent_and_concurrent_safe(self):
+        store = build_store(make_config())
+        queue = IngestQueue(store, max_batch=16, max_delay=0.001)
+        future = queue.put(b"k", b"v")
+        threads = [
+            threading.Thread(target=queue.close) for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert future.result(timeout=1).op == "put"
+
+    def test_reads_allowed_after_close(self):
+        store = build_store(make_config())
+        with IngestQueue(store, max_batch=16, max_delay=0.001) as queue:
+            queue.put(b"k", b"value").result(timeout=10)
+        assert queue.get(b"k").startswith(b"value")

@@ -1,0 +1,374 @@
+"""Multi-producer ingestion stress: N threads, one sequential oracle.
+
+The admission layer's contract under concurrency: whatever interleaving
+the producers race into, the *admitted order* (each lane's run sequence,
+recorded at dispatch time) is the serialization — replaying exactly
+those per-shard runs on a fresh store sequentially must reproduce the
+stressed store byte for byte (device bytes, flags, index, pool order,
+wear counters), including mid-stream retrains firing at the same
+points.  Racing ops on one key resolve to exactly one winner: the one
+admitted last (for puts) or first (for deletes).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import IngestQueue, PNWConfig, PNWStore, ShardedPNWStore
+from repro.errors import (
+    DeadlineExceededError,
+    KeyNotFoundError,
+    QueueFullError,
+)
+from tests.conftest import clustered_values
+
+N_PRODUCERS = 8
+OPS_PER_PRODUCER = 40
+
+
+def make_config(shards: int = 4, **overrides) -> PNWConfig:
+    base = dict(
+        num_buckets=512,
+        value_bytes=24,
+        key_bytes=12,
+        n_clusters=4,
+        seed=7,
+        n_init=1,
+        max_iter=20,
+        shards=shards,
+    )
+    base.update(overrides)
+    return PNWConfig(**base)
+
+
+def build_store(config: PNWConfig):
+    store = (
+        PNWStore(config) if config.shards == 1 else ShardedPNWStore(config)
+    )
+    rng = np.random.default_rng(42)
+    store.warm_up(clustered_values(rng, config.num_buckets, config.value_bytes))
+    return store
+
+
+def assert_stores_equal(direct, stressed) -> None:
+    """Byte-identical data zones, flags, indexes, pools, and wear."""
+    direct_shards = (
+        direct.stores if isinstance(direct, ShardedPNWStore) else [direct]
+    )
+    stressed_shards = (
+        stressed.stores
+        if isinstance(stressed, ShardedPNWStore)
+        else [stressed]
+    )
+    for a, b in zip(direct_shards, stressed_shards):
+        assert np.array_equal(a.nvm.snapshot(), b.nvm.snapshot())
+        assert np.array_equal(a.flags_nvm.snapshot(), b.flags_nvm.snapshot())
+        assert dict(a.index.items()) == dict(b.index.items())
+        assert np.array_equal(
+            a.nvm.stats.writes_per_address, b.nvm.stats.writes_per_address
+        )
+        assert a.pool._free_lists == b.pool._free_lists
+        assert len(a) == len(b)
+
+
+class RecordingQueue(IngestQueue):
+    """IngestQueue that journals the runs it hands the store, in order.
+
+    ``_dispatch`` always runs under the drain lock, so the journal is
+    an exact, race-free record of each shard's dispatched sequence —
+    the sequential oracle's script.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        self.journal: dict[int, list[tuple[str, list]]] = {}
+        super().__init__(*args, **kwargs)
+
+    def _dispatch(self, batches) -> None:
+        for shard_id, runs in sorted(batches.items()):
+            shard_journal = self.journal.setdefault(shard_id, [])
+            for run in runs:
+                shard_journal.append((run.kind, list(run.items)))
+        super()._dispatch(batches)
+
+
+def replay(store, journal) -> None:
+    """Execute the journal sequentially — the oracle the stress run
+    must be byte-identical to.
+
+    Mirrors the queue's failure semantics: a run dying mid-batch keeps
+    its committed prefix and the shard's later runs still execute.
+    """
+    shards = store.stores if isinstance(store, ShardedPNWStore) else [store]
+    for shard_id in sorted(journal):
+        target = shards[shard_id]
+        ops = {
+            "put": target.put_many,
+            "update": target.update_many,
+            "delete": target.delete_many,
+        }
+        for kind, items in journal[shard_id]:
+            try:
+                ops[kind](items)
+            except KeyNotFoundError:
+                pass
+
+
+def race_pairs(config: PNWConfig, n: int = 8):
+    rng = np.random.default_rng(9)
+    values = clustered_values(rng, n, config.value_bytes, flip_rate=0.05)
+    return [(f"race-{i}".encode(), values[i].tobytes()) for i in range(n)]
+
+
+def producer_stream(producer: int, config: PNWConfig, n_race: int):
+    """An infallible mixed stream: private puts/updates/deletes plus
+    updates of shared (pre-inserted, never-deleted) race keys."""
+    rng = np.random.default_rng(100 + producer)
+    values = clustered_values(
+        rng, OPS_PER_PRODUCER, config.value_bytes, flip_rate=0.05
+    )
+    ops = []
+    live: list[int] = []
+    fresh = 0
+    for i in range(OPS_PER_PRODUCER):
+        value = values[i].tobytes()
+        roll = rng.random()
+        if not live or roll < 0.5:
+            ops.append(("put", f"p{producer}-k{fresh}".encode(), value))
+            live.append(fresh)
+            fresh += 1
+        elif roll < 0.65:
+            victim = live[int(rng.integers(len(live)))]
+            ops.append(("update", f"p{producer}-k{victim}".encode(), value))
+        elif roll < 0.75:
+            victim = live.pop(int(rng.integers(len(live))))
+            ops.append(("delete", f"p{producer}-k{victim}".encode(), None))
+        elif n_race:
+            ops.append(
+                ("update", f"race-{int(rng.integers(n_race))}".encode(), value)
+            )
+        else:
+            victim = live[int(rng.integers(len(live)))]
+            ops.append(("update", f"p{producer}-k{victim}".encode(), value))
+    return ops
+
+
+def drive(queue: IngestQueue, ops, overload: str):
+    """Submit one producer's stream; returns (futures, dropped_count)."""
+    futures = []
+    dropped = 0
+    for kind, key, value in ops:
+        submit = (
+            (lambda: queue.delete(key))
+            if kind == "delete"
+            else (lambda: getattr(queue, kind)(key, value))
+        )
+        if overload == "shed":
+            # A real producer retries shed ops after a beat; give up
+            # after a bounded number of attempts.
+            for _ in range(200):
+                try:
+                    futures.append(submit())
+                    break
+                except QueueFullError:
+                    time.sleep(0.001)
+            else:
+                dropped += 1
+        else:
+            try:
+                futures.append(submit())
+            except DeadlineExceededError:
+                dropped += 1
+    return futures, dropped
+
+
+class TestEightProducerStress:
+    @pytest.mark.parametrize("overload", ["block", "shed", "deadline"])
+    def test_sharded_byte_identical_to_sequential_oracle(self, overload):
+        config = make_config(shards=4)
+        stressed = build_store(config)
+        oracle = build_store(make_config(shards=4))
+        races = race_pairs(config)
+        stressed.put_many(races)
+        oracle.put_many(races)
+
+        queue = RecordingQueue(
+            stressed,
+            max_batch=16,
+            max_delay=0.002,
+            max_pending=32,
+            overload=overload,
+            admission_timeout=0.05,
+        )
+        streams = [
+            producer_stream(p, config, len(races)) for p in range(N_PRODUCERS)
+        ]
+        results: list = [None] * N_PRODUCERS
+        barrier = threading.Barrier(N_PRODUCERS)
+
+        def run(producer: int) -> None:
+            barrier.wait()
+            results[producer] = drive(queue, streams[producer], overload)
+
+        threads = [
+            threading.Thread(target=run, args=(p,))
+            for p in range(N_PRODUCERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        queue.close()
+
+        resolved = rejected = 0
+        for futures, _ in results:
+            for future in futures:
+                assert future.done()
+                exc = future.exception()
+                if exc is None:
+                    resolved += 1
+                else:
+                    # Deadline rejections are expected under overload;
+                    # once an op is dropped, a later op on the same key
+                    # (or its run-mates) can legitimately miss.
+                    assert isinstance(
+                        exc, (DeadlineExceededError, KeyNotFoundError)
+                    ), exc
+                    rejected += 1
+        assert resolved > 0
+        if overload == "block":
+            # Nothing may be rejected or dropped under block.
+            assert rejected == 0
+            assert all(dropped == 0 for _, dropped in results)
+            assert resolved == N_PRODUCERS * OPS_PER_PRODUCER
+
+        replay(oracle, queue.journal)
+        assert_stores_equal(oracle, stressed)
+
+    def test_single_store_byte_identical_under_block(self):
+        config = make_config(shards=1)
+        stressed = build_store(config)
+        oracle = build_store(make_config(shards=1))
+        races = race_pairs(config)
+        stressed.put_many(races)
+        oracle.put_many(races)
+
+        queue = RecordingQueue(
+            stressed, max_batch=16, max_delay=0.002, max_pending=32
+        )
+        streams = [
+            producer_stream(p, config, len(races)) for p in range(N_PRODUCERS)
+        ]
+        threads = [
+            threading.Thread(target=drive, args=(queue, stream, "block"))
+            for stream in streams
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        queue.close()
+
+        replay(oracle, queue.journal)
+        assert_stores_equal(oracle, stressed)
+
+    def test_mid_stream_retrains_stay_deterministic(self):
+        """Retrains fired by racing producers replay at the same points."""
+        overrides = dict(load_factor=0.3, retrain_check_interval=16)
+        config = make_config(shards=4, **overrides)
+        stressed = build_store(config)
+        oracle = build_store(make_config(shards=4, **overrides))
+
+        queue = RecordingQueue(
+            stressed, max_batch=16, max_delay=0.002, max_pending=64
+        )
+        streams = [
+            producer_stream(p, config, 0) for p in range(N_PRODUCERS)
+        ]
+        # Strip race-key updates (n_race=0 streams never emit them).
+        threads = [
+            threading.Thread(target=drive, args=(queue, stream, "block"))
+            for stream in streams
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        queue.close()
+
+        assert stressed.metrics.retrains > 0  # the policy actually fired
+        replay(oracle, queue.journal)
+        assert_stores_equal(oracle, stressed)
+
+
+class TestDuplicateKeyRaces:
+    def test_racing_puts_resolve_to_exactly_one_winner(self):
+        config = make_config(shards=4)
+        store = build_store(config)
+        queue = RecordingQueue(store, max_batch=64, max_delay=0.002)
+        key = b"contested"
+        values = [bytes([p]) * config.value_bytes for p in range(N_PRODUCERS)]
+        barrier = threading.Barrier(N_PRODUCERS)
+        futures: list = [None] * N_PRODUCERS
+
+        def run(producer: int) -> None:
+            barrier.wait()
+            futures[producer] = queue.put(key, values[producer])
+
+        threads = [
+            threading.Thread(target=run, args=(p,))
+            for p in range(N_PRODUCERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        queue.close()
+
+        # Every racing put succeeds (put is an upsert) ...
+        for future in futures:
+            assert future.result(timeout=10).op == "put"
+        # ... but exactly one value — the last admitted — survives.
+        shard_id = store.shard_of_key(key)
+        admitted = [
+            item
+            for kind, items in queue.journal[shard_id]
+            for item in items
+            if kind == "put" and item[0] == key
+        ]
+        assert len(admitted) == N_PRODUCERS
+        assert store.get(key) == admitted[-1][1]
+        assert len(store) == 1
+
+    def test_racing_deletes_exactly_one_succeeds(self):
+        config = make_config(shards=4)
+        store = build_store(config)
+        store.put(b"victim", b"x" * config.value_bytes)
+        queue = IngestQueue(store, max_batch=64, max_delay=0.002)
+        barrier = threading.Barrier(2)
+        futures: list = [None, None]
+
+        def run(producer: int) -> None:
+            barrier.wait()
+            futures[producer] = queue.delete(b"victim")
+
+        threads = [
+            threading.Thread(target=run, args=(p,)) for p in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        queue.close()
+
+        outcomes = []
+        for future in futures:
+            try:
+                outcomes.append(future.result(timeout=10).op)
+            except KeyNotFoundError:
+                outcomes.append("miss")
+        assert sorted(outcomes) == ["delete", "miss"]
+        assert b"victim" not in store
