@@ -47,6 +47,14 @@ from repro.errors import (
 REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
            429: "Too Many Requests", 503: "Service Unavailable"}
 
+#: Largest request body the server will buffer; a declared
+#: Content-Length beyond this is rejected before any read.
+MAX_BODY_BYTES = 1 << 20
+
+
+class _BadRequest(Exception):
+    """Unparseable request framing; the connection can't be kept alive."""
+
 
 def build_store(args):
     config = PNWConfig(
@@ -80,7 +88,21 @@ class KVServer:
                      writer: asyncio.StreamWriter) -> None:
         try:
             while True:
-                request = await self._read_request(reader)
+                try:
+                    request = await self._read_request(reader)
+                except _BadRequest as exc:
+                    # Framing is broken, so the stream position is
+                    # untrustworthy: answer 400 and drop the connection
+                    # instead of trying to keep it alive.
+                    self.served["errors"] += 1
+                    body = json.dumps({"error": str(exc)}).encode()
+                    writer.write(
+                        f"HTTP/1.1 400 {REASONS[400]}\r\n"
+                        f"Content-Length: {len(body)}\r\n"
+                        "Connection: close\r\n\r\n".encode() + body
+                    )
+                    await writer.drain()
+                    break
                 if request is None:
                     break
                 status, body = await self._route(*request)
@@ -102,16 +124,26 @@ class KVServer:
             return None
         try:
             method, path, _ = line.decode("ascii").split(" ", 2)
-        except ValueError:
-            return None
+        except (ValueError, UnicodeDecodeError):
+            raise _BadRequest("malformed request line") from None
         length = 0
         while True:
             header = await reader.readline()
             if header in (b"\r\n", b"\n", b""):
                 break
-            name, _, value = header.decode("ascii").partition(":")
+            try:
+                name, _, value = header.decode("ascii").partition(":")
+            except UnicodeDecodeError:
+                raise _BadRequest("malformed header") from None
             if name.strip().lower() == "content-length":
-                length = int(value.strip())
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    raise _BadRequest("malformed Content-Length") from None
+                if length < 0 or length > MAX_BODY_BYTES:
+                    raise _BadRequest(
+                        f"Content-Length outside [0, {MAX_BODY_BYTES}]"
+                    )
         body = await reader.readexactly(length) if length else b""
         return method.upper(), path, body
 

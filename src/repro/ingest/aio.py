@@ -30,7 +30,7 @@ admission layer between sync producers and the event loop.
 from __future__ import annotations
 
 import asyncio
-from concurrent.futures import Future
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
@@ -78,6 +78,15 @@ class AsyncIngestQueue:
         self.queue = queue if queue is not None else IngestQueue(
             store, **queue_kwargs
         )
+        #: Dedicated threads for submissions that may block waiting for
+        #: an admission slot (block/deadline policies).  Keeping those
+        #: waits off the loop's default executor means a wall of
+        #: backpressured puts can never occupy every default-executor
+        #: thread and starve get()/flush()/close(); excess submissions
+        #: queue here in FIFO order instead.
+        self._submit_pool = ThreadPoolExecutor(
+            max_workers=4, thread_name_prefix="pnw-aio-submit"
+        )
 
     # ------------------------------------------------------------------ #
     # ops                                                                 #
@@ -113,8 +122,19 @@ class AsyncIngestQueue:
             future: Future = submit(*args)
         else:
             # block/deadline admission may wait for a window slot; keep
-            # that wait off the event loop.
-            future = await loop.run_in_executor(None, submit, *args)
+            # that wait off the event loop — and off the default
+            # executor, which reads and close() need.
+            try:
+                off_loop = loop.run_in_executor(
+                    self._submit_pool, submit, *args
+                )
+            except RuntimeError:
+                # close() already shut the pool down, so the core queue
+                # is closed too: submitting inline cannot block — it
+                # raises QueueClosedError immediately.
+                future = submit(*args)
+            else:
+                future = await off_loop
         return await asyncio.wrap_future(future, loop=loop)
 
     # ------------------------------------------------------------------ #
@@ -137,6 +157,10 @@ class AsyncIngestQueue:
         await asyncio.get_running_loop().run_in_executor(
             None, self.queue.close
         )
+        # Closing the core queue woke every submission blocked on
+        # admission (QueueClosedError), so the pool drains promptly;
+        # don't block the loop waiting for it.
+        self._submit_pool.shutdown(wait=False)
 
     async def __aenter__(self) -> "AsyncIngestQueue":
         return self

@@ -270,6 +270,9 @@ class IngestQueue:
         self._drain_lock = threading.Lock()
         self.batches_dispatched = 0
         self.ops_rejected = 0
+        #: Guards ops_rejected: shed/deadline producers and _expire
+        #: (under the drain lock) all bump it concurrently.
+        self._rejected_lock = threading.Lock()
         self._flusher: threading.Thread | None = None
         if autostart:
             self.start()
@@ -388,7 +391,7 @@ class IngestQueue:
         """
         if self.overload == "shed":
             if not self._window.acquire(timeout=0.0):
-                self.ops_rejected += 1
+                self._count_rejected()
                 raise QueueFullError(
                     f"admission window full ({self.max_pending} ops pending)"
                 )
@@ -396,7 +399,7 @@ class IngestQueue:
         if self.overload == "deadline":
             deadline = time.monotonic() + self.admission_timeout
             if not self._window.acquire(timeout=self.admission_timeout):
-                self.ops_rejected += 1
+                self._count_rejected()
                 raise DeadlineExceededError(
                     f"no admission slot within {self.admission_timeout}s "
                     f"({self.max_pending} ops pending)"
@@ -405,40 +408,53 @@ class IngestQueue:
         self._window.acquire()
         return None
 
+    def _count_rejected(self, n: int = 1) -> None:
+        with self._rejected_lock:
+            self.ops_rejected += n
+
     def _submit(self, kind: str, key: bytes, item) -> Future:
         if self._closed:
             raise QueueClosedError("cannot submit to a closed IngestQueue")
+        # Resolve the shard *before* taking a window slot: on a sharded
+        # store this validates the key (shard_of_key raises on bad
+        # type/length), and a rejected key must never consume a slot.
+        lane = self._lanes[self._shard_of(key)]
         deadline = self._admit()
         future: Future = Future()
-        lane = self._lanes[self._shard_of(key)]
-        with lane.lock:
-            if self._closed:
-                # Lost the race with close(): the final sweep may have
-                # already run, so don't enqueue into a dead lane.
-                self._window.release()
-                raise QueueClosedError(
-                    "cannot submit to a closed IngestQueue"
-                )
-            runs = lane.runs
-            if (
-                not runs
-                or runs[-1].kind != kind
-                or len(runs[-1].items) >= self.max_batch
-            ):
-                run = _Run(kind)
-                if self.overload == "deadline":
-                    run.deadlines = []
-                runs.append(run)
-            run = runs[-1]
-            run.items.append(item)
-            run.futures.append(future)
-            if run.deadlines is not None:
-                run.deadlines.append(deadline)
-            lane.count += 1
-            if lane.oldest is None:
-                lane.oldest = time.monotonic()
-            lane.submitted += 1
-            count = lane.count
+        try:
+            with lane.lock:
+                if self._closed:
+                    # Lost the race with close(): the final sweep may
+                    # have already run, so don't enqueue into a dead
+                    # lane.
+                    raise QueueClosedError(
+                        "cannot submit to a closed IngestQueue"
+                    )
+                runs = lane.runs
+                if (
+                    not runs
+                    or runs[-1].kind != kind
+                    or len(runs[-1].items) >= self.max_batch
+                ):
+                    run = _Run(kind)
+                    if self.overload == "deadline":
+                        run.deadlines = []
+                    runs.append(run)
+                run = runs[-1]
+                run.items.append(item)
+                run.futures.append(future)
+                if run.deadlines is not None:
+                    run.deadlines.append(deadline)
+                lane.count += 1
+                if lane.oldest is None:
+                    lane.oldest = time.monotonic()
+                lane.submitted += 1
+                count = lane.count
+        except BaseException:
+            # The slot was acquired but the op never entered a lane;
+            # hand the slot back so nothing leaks.
+            self._window.release()
+            raise
         size_triggered = count >= self.max_batch
         if size_triggered or count == 1:
             # Size trigger, or a lane just became non-empty (the
@@ -513,7 +529,7 @@ class IngestQueue:
                         "admission deadline passed before dispatch"
                     )
                     expired = len(run.items) - len(live)
-                    self.ops_rejected += expired
+                    self._count_rejected(expired)
                     for i, future in enumerate(run.futures):
                         if run.deadlines[i] <= now:
                             _set_exception(future, exc)

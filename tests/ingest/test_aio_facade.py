@@ -9,6 +9,7 @@ Plus a real-socket smoke test of ``examples/serve_http.py``.
 from __future__ import annotations
 
 import asyncio
+import importlib.util
 import subprocess
 import sys
 from pathlib import Path
@@ -225,3 +226,66 @@ class TestServeHttpExample:
         assert "serving on 127.0.0.1:" in result.stdout
         assert "6 concurrent clients" in result.stdout
         assert "read-your-write mismatches=0" in result.stdout
+
+    def test_hostile_requests_get_400_and_never_wedge_admission(self):
+        """Malformed framing answers 400 (not a dead connection task),
+        huge Content-Length is rejected before buffering, and oversized
+        keys — which the shard router rejects — must not consume
+        admission slots: hammering past the window still leaves the
+        front door open to valid traffic."""
+        spec = importlib.util.spec_from_file_location(
+            "serve_http_example", EXAMPLES / "serve_http.py"
+        )
+        serve_http = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(serve_http)
+
+        async def raw_status(port: int, payload: bytes) -> int:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                writer.write(payload)
+                await writer.drain()
+                return int((await reader.readline()).split()[1])
+            finally:
+                writer.close()
+
+        async def main():
+            store = build_store(make_config(shards=2))
+            async with AsyncIngestQueue(
+                store, max_batch=8, max_delay=0.002, max_pending=4,
+                overload="shed",
+            ) as queue:
+                kv = serve_http.KVServer(queue)
+                server = await asyncio.start_server(kv.handle, "127.0.0.1", 0)
+                port = server.sockets[0].getsockname()[1]
+                async with server:
+                    assert await raw_status(
+                        port,
+                        b"PUT /kv/a HTTP/1.1\r\n"
+                        b"Content-Length: banana\r\n\r\n",
+                    ) == 400
+                    assert await raw_status(
+                        port,
+                        b"PUT /kv/a HTTP/1.1\r\n"
+                        b"Content-Length: 99999999999\r\n\r\n",
+                    ) == 400
+                    # 10 bad keys > max_pending=4: a leaked slot per
+                    # rejection would wedge the shed-policy window...
+                    for _ in range(10):
+                        status, _ = await serve_http.http_call(
+                            "127.0.0.1", port, "PUT", "/kv/" + "x" * 64,
+                            b"v",
+                        )
+                        assert status == 400
+                    # ...yet valid traffic still round-trips.
+                    status, _ = await serve_http.http_call(
+                        "127.0.0.1", port, "PUT", "/kv/ok", b"value"
+                    )
+                    assert status == 200
+                    status, payload = await serve_http.http_call(
+                        "127.0.0.1", port, "GET", "/kv/ok"
+                    )
+                    assert status == 200
+                    assert payload.startswith(b"value")
+            store.close()
+
+        asyncio.run(main())

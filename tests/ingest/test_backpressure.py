@@ -92,6 +92,27 @@ class TestWindowBound:
             assert future.result(timeout=10).op == "put"
         assert ok.result(timeout=10).op == "put"
 
+    def test_rejected_key_never_consumes_a_window_slot(self):
+        """Regression: on a sharded store, a key the router rejects
+        (oversized, wrong type) used to leak its admission slot —
+        max_pending bad submissions then wedged the queue for good."""
+        store = build_store(make_config(shards=4))
+        queue = IngestQueue(
+            store, autostart=False, max_batch=4096, max_pending=4,
+            overload="shed",
+        )
+        for _ in range(8):  # 2x the window: a leak would wedge below
+            with pytest.raises(ValueError, match="key_bytes"):
+                queue.put(b"x" * 64, b"v")
+        assert queue.pending_ops == 0
+        # Every slot is still available to well-formed keys.
+        futures = [queue.put(key, value) for key, value in pairs_for(4)]
+        assert queue.pending_ops == 4
+        queue.flush()
+        queue.close()
+        for future in futures:
+            assert future.result(timeout=10).op == "put"
+
     def test_validation(self):
         store = build_store(make_config())
         with pytest.raises(ValueError, match="max_pending"):
