@@ -34,14 +34,27 @@ batch_size_list = functools.partial(parse_int_list, minimum=1)
 
 
 def build_store(
-    old_values: np.ndarray, n_clusters: int, seed: int, probe_limit: int
+    old_values: np.ndarray, n_clusters: int, seed: int, probe_limit: int,
+    shards: int = 1, executor: str = "thread",
 ):
     store = make_pnw_store(
         old_values.shape[0], old_values.shape[1], n_clusters, seed=seed,
-        probe_limit=probe_limit,
+        probe_limit=probe_limit, shards=shards, executor=executor,
     )
     store.warm_up(old_values)
     return store
+
+
+def snapshots(store) -> list[np.ndarray]:
+    """Data-zone snapshot(s) — one per shard for sharded stores."""
+    if hasattr(store, "stores"):
+        return [shard.nvm.snapshot() for shard in store.stores]
+    return [store.nvm.snapshot()]
+
+
+def close_store(store) -> None:
+    if hasattr(store, "close"):
+        store.close()
 
 
 def run_sequential(store, keys, values) -> float:
@@ -79,6 +92,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--n-clusters", type=int, default=8)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
+        "--shards", type=int, default=1,
+        help="hash-partition the zone into N shards (1: plain store)",
+    )
+    parser.add_argument(
+        "--executor", default="thread", choices=("thread", "process"),
+        help="shard executor when --shards > 1 (see bench_shard_scaling)",
+    )
+    parser.add_argument(
         "--probe-limit", type=int, default=64,
         help="free-list candidates scored per PUT (0: FIFO, -1: whole "
              "list via the probe engine's content cache)",
@@ -104,25 +125,31 @@ def main(argv: list[str] | None = None) -> int:
 
     lines = [f"workload={args.workload}  zone={num_buckets} buckets x "
              f"{old_values.shape[1]}B values  ops={n_ops}  "
-             f"K={args.n_clusters}  probe_limit={args.probe_limit}"]
+             f"K={args.n_clusters}  probe_limit={args.probe_limit}  "
+             f"shards={args.shards}  executor={args.executor}"]
     print(lines[0])
 
     seq_store = build_store(old_values, args.n_clusters, args.seed,
-                            args.probe_limit)
+                            args.probe_limit, args.shards, args.executor)
     seq_seconds = run_sequential(seq_store, keys, new_values)
     seq_ops = n_ops / seq_seconds
     lines.append(f"{'sequential put':>18}: {seq_ops:10.0f} ops/s   (baseline)")
     print(lines[-1])
 
-    reference = seq_store.nvm.snapshot()
+    reference = snapshots(seq_store)
+    close_store(seq_store)
     speedups: dict[int, float] = {}
     for batch_size in batch_sizes:
         store = build_store(old_values, args.n_clusters, args.seed,
-                            args.probe_limit)
+                            args.probe_limit, args.shards, args.executor)
         seconds = run_batched(store, keys, new_values, batch_size)
         ops = n_ops / seconds
         speedups[batch_size] = seq_seconds / seconds
-        identical = bool(np.array_equal(store.nvm.snapshot(), reference))
+        identical = all(
+            bool(np.array_equal(snap, ref))
+            for snap, ref in zip(snapshots(store), reference)
+        )
+        close_store(store)
         lines.append(f"{'put_many b=' + str(batch_size):>18}: {ops:10.0f} ops/s   "
                      f"{speedups[batch_size]:5.2f}x   state-identical={identical}")
         print(lines[-1])

@@ -47,18 +47,34 @@ def float_list(text: str) -> list[float]:
     return values
 
 
-def build_store(old_values, n_clusters, seed, probe_limit, prefill):
+def build_store(old_values, n_clusters, seed, probe_limit, prefill,
+                shards=1, executor="thread"):
     """Warmed store with ``prefill`` live keys (installed via the batch
     path, which is state-identical to sequential puts)."""
     store = make_pnw_store(
         old_values.shape[0], old_values.shape[1], n_clusters,
-        seed=seed, probe_limit=probe_limit,
+        seed=seed, probe_limit=probe_limit, shards=shards, executor=executor,
     )
     store.warm_up(old_values)
     pairs, batch = prefill
     for start in range(0, len(pairs), batch):
         store.put_many(pairs[start : start + batch])
     return store
+
+
+def total_free(store) -> int:
+    """Pool headroom for either store flavor."""
+    return store.total_free if hasattr(store, "total_free") else store.pool.total_free
+
+
+def state_identical(store_a, store_b) -> bool:
+    """Byte-identity of the data zone(s) across two same-shape stores."""
+    if hasattr(store_a, "stores"):
+        return all(
+            bool(np.array_equal(sa.nvm.snapshot(), sb.nvm.snapshot()))
+            for sa, sb in zip(store_a.stores, store_b.stores)
+        )
+    return bool(np.array_equal(store_a.nvm.snapshot(), store_b.nvm.snapshot()))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -86,6 +102,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--n-clusters", type=int, default=8)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
+        "--shards", type=int, default=1,
+        help="hash-partition the zone into N shards (1: plain store)",
+    )
+    parser.add_argument(
+        "--executor", default="thread", choices=("thread", "process"),
+        help="shard executor when --shards > 1 (see bench_shard_scaling)",
+    )
+    parser.add_argument(
         "--min-speedup", type=float, default=2.0,
         help="exit non-zero unless the batched engine beats the per-op "
              "loop by this factor at probe_limit=-1 (best row across the "
@@ -110,7 +134,8 @@ def main(argv: list[str] | None = None) -> int:
 
     lines = [f"workload={args.workload}  zone={num_buckets} buckets x "
              f"{value_bytes}B values  ops={n_ops}  batch={args.batch_size}  "
-             f"K={args.n_clusters}"]
+             f"K={args.n_clusters}  shards={args.shards}  "
+             f"executor={args.executor}"]
     print(lines[0])
     header = (f"{'probe':>6} {'occ':>5} {'free/cluster':>12} "
               f"{'put (seq)':>12} {'put_many':>12} {'speedup':>8}  state")
@@ -134,18 +159,21 @@ def main(argv: list[str] | None = None) -> int:
             # Best-of-N per half: store state is deterministic (same seed
             # every repeat), only the wall clock varies with host load.
             seq_ops = batch_ops = 0.0
-            for _ in range(max(1, repeats)):
+            for attempt in range(max(1, repeats)):
+                last = attempt == max(1, repeats) - 1
                 seq_store = build_store(
-                    old_values, args.n_clusters, args.seed, probe_limit, prefill
+                    old_values, args.n_clusters, args.seed, probe_limit, prefill,
+                    shards=args.shards, executor=args.executor,
                 )
-                free_depth = seq_store.pool.total_free // args.n_clusters
+                free_depth = total_free(seq_store) // args.n_clusters
                 started = time.perf_counter()
                 for key, value in zip(keys, stream):
                     seq_store.put(key, value)
                 seq_ops = max(seq_ops, n_ops / (time.perf_counter() - started))
 
                 batch_store = build_store(
-                    old_values, args.n_clusters, args.seed, probe_limit, prefill
+                    old_values, args.n_clusters, args.seed, probe_limit, prefill,
+                    shards=args.shards, executor=args.executor,
                 )
                 started = time.perf_counter()
                 for start in range(0, n_ops, args.batch_size):
@@ -154,11 +182,16 @@ def main(argv: list[str] | None = None) -> int:
                                  stream[start : start + args.batch_size]))
                     )
                 batch_ops = max(batch_ops, n_ops / (time.perf_counter() - started))
+                if not last:
+                    for store in (seq_store, batch_store):
+                        if hasattr(store, "close"):
+                            store.close()
 
             speedup = batch_ops / seq_ops
-            identical = bool(np.array_equal(
-                seq_store.nvm.snapshot(), batch_store.nvm.snapshot()
-            ))
+            identical = state_identical(seq_store, batch_store)
+            for store in (seq_store, batch_store):
+                if hasattr(store, "close"):
+                    store.close()
             line = (f"{probe_limit:>6} {occupancy:>5.2f} {free_depth:>12} "
                     f"{seq_ops:>10.0f}/s {batch_ops:>10.0f}/s "
                     f"{speedup:>7.2f}x  identical={identical}")

@@ -39,6 +39,7 @@ from .errors import (
     QueueClosedError,
     QueueFullError,
     ReproError,
+    WorkerCrashedError,
 )
 from .engine import MutationEngine
 from .ingest import AsyncIngestQueue, IngestQueue
@@ -92,5 +93,6 @@ __all__ = [
     "QueueFullError",
     "QueueClosedError",
     "DeadlineExceededError",
+    "WorkerCrashedError",
     "__version__",
 ]

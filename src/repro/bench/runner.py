@@ -114,6 +114,7 @@ def make_pnw_store(
     index_placement: str = "dram",
     probe_limit: int = 64,
     shards: int = 1,
+    executor: str = "thread",
 ) -> PNWStore | ShardedPNWStore:
     """A store configured for the paper's measurement streams.
 
@@ -123,7 +124,9 @@ def make_pnw_store(
     free-list pop instead of §IV's minimum-Hamming probing.
     ``shards=N`` hash-partitions the zone into N concurrent per-shard
     batch pipelines (see :mod:`repro.shard`); ``num_buckets`` stays the
-    *total* capacity.
+    *total* capacity.  ``executor="process"`` runs those pipelines in
+    per-shard worker processes on shared-memory zones instead of threads
+    (ignored at ``shards=1``, where there is nothing to parallelize).
     """
     config = PNWConfig(
         num_buckets=num_buckets,
@@ -138,6 +141,7 @@ def make_pnw_store(
         index_placement=index_placement,
         probe_limit=probe_limit,
         shards=shards,
+        executor=executor,
         load_factor=0.9 if allow_retrain else 1.0,
         retrain_check_interval=128 if allow_retrain else 2**62,
     )
@@ -169,6 +173,7 @@ class PNWStreamSession:
         allow_retrain: bool = False,
         probe_limit: int = 64,
         shards: int = 1,
+        executor: str = "thread",
     ) -> None:
         old_values = np.atleast_2d(old_values)
         self.store = make_pnw_store(
@@ -182,6 +187,7 @@ class PNWStreamSession:
             allow_retrain=allow_retrain,
             probe_limit=probe_limit,
             shards=shards,
+            executor=executor,
         )
         self.store.warm_up(old_values)
         self.live_window = (

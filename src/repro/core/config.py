@@ -86,6 +86,14 @@ class PNWConfig:
         consumed by :func:`repro.shard.make_store` /
         :class:`repro.shard.ShardedPNWStore`, which split ``num_buckets``
         across the shards; a plain :class:`PNWStore` ignores it.
+    executor:
+        How :class:`repro.shard.ShardedPNWStore` runs its shards:
+        ``"thread"`` (the default — per-shard stores in-process, batched
+        through a thread pool) or ``"process"`` (one long-lived worker
+        process per shard over shared-memory zones, escaping the GIL for
+        real multi-core scaling).  Byte-identity contract: both executors
+        produce identical store state and reports.  A plain
+        :class:`PNWStore` ignores it.
     """
 
     num_buckets: int
@@ -110,6 +118,7 @@ class PNWConfig:
     track_bit_wear: bool = False
     persist_flags: bool = True
     shards: int = 1
+    executor: str = "thread"
     kmeans_jobs: int = field(default=1)
 
     def __post_init__(self) -> None:
@@ -154,6 +163,10 @@ class PNWConfig:
             raise ConfigError(
                 f"shards={self.shards} exceeds num_buckets={self.num_buckets}; "
                 "every shard needs at least one bucket"
+            )
+        if self.executor not in ("thread", "process"):
+            raise ConfigError(
+                f"executor must be 'thread' or 'process', got {self.executor!r}"
             )
         if self.bucket_bytes % self.word_bytes != 0:
             raise ConfigError(

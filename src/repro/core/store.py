@@ -48,23 +48,41 @@ __all__ = ["PNWStore", "OperationReport", "StoreMetrics"]
 
 
 class PNWStore:
-    """Predict-and-Write K/V store on simulated hybrid DRAM-NVM memory."""
+    """Predict-and-Write K/V store on simulated hybrid DRAM-NVM memory.
 
-    def __init__(self, config: PNWConfig) -> None:
+    ``zone`` optionally backs the durable regions (data zone, validity
+    bitmap, both wear counters) with a :class:`~repro.nvm.shm.SharedZone`
+    view instead of private arrays.  A shard worker process builds its
+    store this way: the buffers outlive the worker, so a respawned worker
+    re-attaches the same zone and runs the ordinary :meth:`recover` path.
+    Buffers are used as-is — a fresh segment is zero-filled (the normal
+    empty-store state) and a post-crash segment holds the dead worker's
+    durable state.
+    """
+
+    def __init__(self, config: PNWConfig, *, zone=None) -> None:
         self.config = config
+        self.zone = zone
         self.memory = HybridMemory(
             config.num_buckets,
             config.bucket_bytes,
             cacheline_bytes=config.cacheline_bytes,
             word_bytes=config.word_bytes,
             track_bit_wear=config.track_bit_wear,
+            nvm_data=zone.view("data") if zone is not None else None,
+            nvm_stats=zone.data_stats() if zone is not None else None,
         )
         # Validity bitmap: one bit per bucket, packed into 4-byte NVM words
         # in its own region so data-zone wear numbers stay pure.  With
         # persist_flags=False (the paper's Fig. 2a), flags live in DRAM
         # alongside the index and crash recovery is unavailable.
         bitmap_words = -(-config.num_buckets // 32)
-        self.flags_nvm = SimulatedNVM(bitmap_words, 4)
+        self.flags_nvm = SimulatedNVM(
+            bitmap_words,
+            4,
+            data=zone.view("flags") if zone is not None else None,
+            stats=zone.flag_stats() if zone is not None else None,
+        )
         self._valid_dram = (
             np.zeros(config.num_buckets, dtype=bool)
             if not config.persist_flags

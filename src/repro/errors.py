@@ -18,6 +18,7 @@ __all__ = [
     "QueueFullError",
     "QueueClosedError",
     "DeadlineExceededError",
+    "WorkerCrashedError",
 ]
 
 
@@ -67,3 +68,13 @@ class QueueClosedError(ReproError, RuntimeError):
 class DeadlineExceededError(ReproError):
     """An op's admission deadline passed before its batch was dispatched
     (``deadline`` policy): the op was never applied to the store."""
+
+
+class WorkerCrashedError(ReproError):
+    """A shard worker process died while executing a request.
+
+    Raised by the process executor after the worker has already been
+    respawned over the surviving shared zone and the standard recovery
+    path has run, so the caller may simply retry: the zone is servable
+    again, with only the dead worker's unflagged (in-flight) operations
+    lost — exactly the torn-shard crash semantics of a power failure."""

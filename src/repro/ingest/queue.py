@@ -7,9 +7,11 @@ that gap: callers submit single PUT/UPDATE/DELETE ops and immediately
 get a :class:`~concurrent.futures.Future`; the queue coalesces pending
 ops into per-shard ``put_many`` / ``update_many`` / ``delete_many``
 batches under a size/latency-deadline policy and drains them through
-the store's existing batch pipelines — the sharded store's thread-pooled
-per-shard engines included — resolving each future with its op's
-:class:`~repro.core.reports.OperationReport`.
+the store's existing batch pipelines — the sharded store's per-shard
+engines included, whichever executor backs them (dispatch goes through
+``run_shard_batches``, so thread-pooled shards and per-shard worker
+processes over shared memory behave identically here) — resolving each
+future with its op's :class:`~repro.core.reports.OperationReport`.
 
 Admission control
 -----------------

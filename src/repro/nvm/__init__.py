@@ -3,7 +3,8 @@
 from .device import SimulatedNVM, WriteReport
 from .hybrid import DRAMRegion, HybridMemory
 from .latency import TECHNOLOGIES, LatencyModel, MemoryTechnology
-from .stats import WearStats, cdf_of_counts
+from .shm import SharedZone, ZoneLayout
+from .stats import SharedWearStats, WearStats, cdf_of_counts
 
 __all__ = [
     "SimulatedNVM",
@@ -14,5 +15,8 @@ __all__ = [
     "LatencyModel",
     "MemoryTechnology",
     "WearStats",
+    "SharedWearStats",
+    "SharedZone",
+    "ZoneLayout",
     "cdf_of_counts",
 ]

@@ -78,6 +78,8 @@ class HybridMemory:
         word_bytes: int = 4,
         track_bit_wear: bool = False,
         nvm_latency: LatencyModel | None = None,
+        nvm_data=None,
+        nvm_stats=None,
     ) -> None:
         self.nvm = SimulatedNVM(
             num_buckets,
@@ -86,6 +88,8 @@ class HybridMemory:
             word_bytes=word_bytes,
             track_bit_wear=track_bit_wear,
             latency=nvm_latency,
+            data=nvm_data,
+            stats=nvm_stats,
         )
         self.dram = DRAMRegion()
 

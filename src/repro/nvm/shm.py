@@ -1,0 +1,186 @@
+"""Shared-memory arenas for process-parallel shard zones.
+
+A :class:`ZoneLayout` is a tiny picklable spec describing how one shard's
+durable state packs into a single ``multiprocessing.shared_memory``
+segment: the NVM data zone, the persistent validity bitmap's backing
+words, and the wear counters of both devices.  A :class:`SharedZone`
+owns (or attaches to) the segment and hands out NumPy views over each
+region plus ready-made :class:`~repro.nvm.stats.SharedWearStats` objects.
+
+The layout deliberately covers exactly the state that must survive a
+``kill -9``'d worker process: everything the existing single-store
+recovery path (:meth:`PNWStore.recover`) reads back.  Volatile state —
+the DRAM index, the k-means model, the dynamic address pool's free lists
+and content cache — stays worker-local and is rebuilt by that same
+recovery path, just as it is after a simulated whole-store crash.
+
+Fresh segments are zero-filled by the OS, which is exactly the initial
+state every region wants, so creation and post-crash re-attachment share
+one code path that never writes to the buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from .stats import SharedWearStats, WearStats
+
+__all__ = ["ZoneLayout", "SharedZone"]
+
+_ALIGN = 64  # cacheline-align every region
+
+
+def _aligned(offset: int) -> int:
+    return -(-offset // _ALIGN) * _ALIGN
+
+
+@dataclass(frozen=True)
+class ZoneLayout:
+    """Picklable offsets spec for one shard zone's shared segment.
+
+    ``flag_words`` is the number of 32-bit words backing the validity
+    bitmap (``ceil(num_buckets / 32)``); the flags device stores each
+    word as a 4-byte bucket, mirroring ``PNWStore.flags_nvm``.
+    """
+
+    num_buckets: int
+    bucket_bytes: int
+    track_bit_wear: bool = False
+
+    @property
+    def flag_words(self) -> int:
+        return -(-self.num_buckets // 32)
+
+    def regions(self) -> dict[str, tuple[int, tuple[int, ...], np.dtype]]:
+        """``name -> (byte offset, shape, dtype)`` for every region."""
+        n_int = len(WearStats.INT_TOTALS)
+        n_float = len(WearStats.FLOAT_TOTALS)
+        specs: list[tuple[str, tuple[int, ...], np.dtype]] = [
+            ("data", (self.num_buckets, self.bucket_bytes), np.dtype(np.uint8)),
+            ("flags", (self.flag_words, 4), np.dtype(np.uint8)),
+            ("data_writes", (self.num_buckets,), np.dtype(np.int64)),
+            ("data_int_totals", (n_int,), np.dtype(np.int64)),
+            ("data_float_totals", (n_float,), np.dtype(np.float64)),
+            ("flag_writes", (self.flag_words,), np.dtype(np.int64)),
+            ("flag_int_totals", (n_int,), np.dtype(np.int64)),
+            ("flag_float_totals", (n_float,), np.dtype(np.float64)),
+        ]
+        if self.track_bit_wear:
+            specs.append(
+                ("data_bit_wear",
+                 (self.num_buckets, self.bucket_bytes * 8),
+                 np.dtype(np.uint32))
+            )
+        regions: dict[str, tuple[int, tuple[int, ...], np.dtype]] = {}
+        offset = 0
+        for name, shape, dtype in specs:
+            offset = _aligned(offset)
+            regions[name] = (offset, shape, dtype)
+            offset += int(np.prod(shape)) * dtype.itemsize
+        return regions
+
+    @property
+    def total_bytes(self) -> int:
+        last_offset = 0
+        for offset, shape, dtype in self.regions().values():
+            end = offset + int(np.prod(shape)) * dtype.itemsize
+            last_offset = max(last_offset, end)
+        return max(last_offset, 1)
+
+
+class SharedZone:
+    """One shard zone's durable state in a single shared segment.
+
+    Create with :meth:`create` in the parent (which owns unlinking) and
+    :meth:`attach` in the worker.  ``close()`` releases this process's
+    mapping; ``unlink()`` removes the name — parent-only, after workers
+    are gone.
+    """
+
+    def __init__(self, layout: ZoneLayout, shm: shared_memory.SharedMemory,
+                 *, owner: bool) -> None:
+        self.layout = layout
+        self._shm = shm
+        self._owner = owner
+        self._views: dict[str, np.ndarray] = {}
+        for name, (offset, shape, dtype) in layout.regions().items():
+            count = int(np.prod(shape))
+            view = np.frombuffer(
+                shm.buf, dtype=dtype, count=count, offset=offset
+            ).reshape(shape)
+            self._views[name] = view
+
+    # ------------------------------------------------------------------ #
+    # construction                                                        #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def create(cls, layout: ZoneLayout) -> "SharedZone":
+        shm = shared_memory.SharedMemory(create=True, size=layout.total_bytes)
+        return cls(layout, shm, owner=True)
+
+    @classmethod
+    def attach(cls, layout: ZoneLayout, name: str) -> "SharedZone":
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(layout, shm, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    # ------------------------------------------------------------------ #
+    # views                                                               #
+    # ------------------------------------------------------------------ #
+
+    def view(self, name: str) -> np.ndarray:
+        return self._views[name]
+
+    def data_stats(self) -> SharedWearStats:
+        """Wear accounting of the data zone, over the shared slots."""
+        return SharedWearStats(
+            self.layout.num_buckets,
+            self.layout.bucket_bytes,
+            writes_per_address=self._views["data_writes"],
+            int_totals=self._views["data_int_totals"],
+            float_totals=self._views["data_float_totals"],
+            bit_wear=self._views.get("data_bit_wear"),
+        )
+
+    def flag_stats(self) -> SharedWearStats:
+        """Wear accounting of the validity-bitmap device."""
+        return SharedWearStats(
+            self.layout.flag_words,
+            4,
+            writes_per_address=self._views["flag_writes"],
+            int_totals=self._views["flag_int_totals"],
+            float_totals=self._views["flag_float_totals"],
+        )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                           #
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Release this process's mapping.
+
+        NumPy views handed out earlier keep a buffer export open; if any
+        are still alive the mmap cannot be closed yet — the mapping is
+        then released when the last view is garbage collected (or at
+        process exit).  ``unlink`` below does not need the mapping gone.
+        """
+        self._views.clear()
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - depends on caller refs
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment's name (parent/owner only)."""
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass

@@ -1,10 +1,12 @@
 """Sharded PNW: hash-partitioned zones with concurrent batch pipelines."""
 
+from .procpool import ShardProcessClient
 from .router import ROUTER_SEED, assign_shards, shard_of
 from .store import ShardedPNWStore, make_store, shard_configs
 
 __all__ = [
     "ROUTER_SEED",
+    "ShardProcessClient",
     "ShardedPNWStore",
     "assign_shards",
     "make_store",

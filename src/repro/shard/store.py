@@ -38,19 +38,38 @@ completion, then the lowest-shard error is re-raised (with
 Whole-store ``crash()`` / ``recover()`` delegate per shard; a torn
 shard loses only its own unflagged operations.
 
-Reentrancy: each shard's engine is guarded by its own lock, so K/V
-calls (single ops, ``*_many`` batches, ``run_shard_batches``, ``get``)
-may be issued from several threads concurrently — the ingestion layer's
-multi-producer front door relies on this.  Concurrent calls interleave
-at sub-batch granularity per shard with no cross-call ordering promise;
-callers that need a global order (like
-:class:`~repro.ingest.IngestQueue`'s drain) must serialize themselves.
-Lifecycle calls (``warm_up`` / ``retrain`` / ``crash`` / ``recover``)
-still require a quiesced store.
+Executors: the per-shard engines run either on a thread pool
+(``executor="thread"``, the default) or on one long-lived worker
+process per shard over shared-memory zones (``executor="process"``,
+:mod:`repro.shard.procpool`) — the GIL-free mode for real multi-core
+scaling.  Both executors sit behind the exact same
+``OperationReport`` API and produce byte-identical store state; the
+process mode additionally survives a worker process dying (the zone
+lives in shared memory; the worker is respawned and the standard
+recovery path replays it — see :class:`~repro.shard.procpool.ShardProcessClient`).
+
+Reentrancy and lock ordering: each shard's engine is guarded by its own
+lock, so K/V calls (single ops, ``*_many`` batches,
+``run_shard_batches``, ``get``) may be issued from several threads
+concurrently — the ingestion layer's multi-producer front door relies
+on this.  Concurrent calls interleave at sub-batch granularity per
+shard with no cross-call ordering promise; callers that need a global
+order (like :class:`~repro.ingest.IngestQueue`'s drain) must serialize
+themselves.  Lifecycle calls (``warm_up`` / ``retrain`` / ``crash`` /
+``recover`` / ``close``) quiesce the store deterministically instead of
+requiring the caller to: they acquire **every** shard lock in ascending
+shard order before acting, so they wait for all in-flight K/V work and
+exclude new K/V work for their duration.  The ordering discipline that
+makes this deadlock-free: K/V paths take exactly **one** shard lock and
+never nest, lifecycle paths take **all** locks in ascending order, and
+lifecycle work never runs on the shared K/V thread pool (it uses a
+transient pool), so a queued K/V task blocked on a shard lock can never
+sit in front of the lifecycle work that would release it.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import os
 import threading
@@ -65,6 +84,7 @@ from ..engine.plan import check_unique
 from ..errors import ConfigError, KeyNotFoundError, PoolExhaustedError
 from ..index.base import KeyIndex
 from ..nvm.stats import WearStats
+from .procpool import ShardProcessClient
 from .router import assign_shards, shard_of
 
 __all__ = ["ShardedPNWStore", "make_store", "shard_configs"]
@@ -121,11 +141,33 @@ class ShardedPNWStore:
         shards: int | None = None,
         *,
         max_workers: int | None = None,
+        executor: str | None = None,
     ) -> None:
         self.config = config
         configs = shard_configs(config, shards)
         self.n_shards = len(configs)
-        self.stores = [PNWStore(shard_config) for shard_config in configs]
+        #: ``"thread"`` or ``"process"`` — from ``config.executor`` unless
+        #: overridden here.
+        self.executor_kind = config.executor if executor is None else executor
+        if self.executor_kind not in ("thread", "process"):
+            raise ConfigError(
+                f"executor must be 'thread' or 'process', "
+                f"got {self.executor_kind!r}"
+            )
+        if self.executor_kind == "process":
+            if config.index_placement != "dram":
+                raise ConfigError(
+                    "executor='process' requires index_placement='dram': the "
+                    "NVM-resident path-hashing index lives in worker-local "
+                    "memory, so it could not survive a worker crash the way "
+                    "the shared zone does"
+                )
+            self.stores: list = [
+                ShardProcessClient(shard_id, shard_config)
+                for shard_id, shard_config in enumerate(configs)
+            ]
+        else:
+            self.stores = [PNWStore(shard_config) for shard_config in configs]
         sizes = [shard_config.num_buckets for shard_config in configs]
         #: Global base address of each shard's zone (plus a total sentinel).
         self.shard_bases = np.concatenate(([0], np.cumsum(sizes)))
@@ -135,12 +177,19 @@ class ShardedPNWStore:
         # Size the pool to the CPUs this process can actually run on: on
         # a single-CPU host threads only add GIL churn, so sub-batches
         # run serially there (the per-shard probe-set reduction is the
-        # win that survives).  An explicit max_workers overrides.
+        # win that survives).  An explicit max_workers overrides.  In
+        # process mode the pool threads just block on worker pipes
+        # (blocking recv releases the GIL), so one thread per shard is
+        # right regardless of local core count — the parallelism lives
+        # in the worker processes.
         if max_workers is None:
-            try:
-                max_workers = len(os.sched_getaffinity(0))
-            except AttributeError:  # pragma: no cover - non-Linux
-                max_workers = os.cpu_count() or 1
+            if self.executor_kind == "process":
+                max_workers = self.n_shards
+            else:
+                try:
+                    max_workers = len(os.sched_getaffinity(0))
+                except AttributeError:  # pragma: no cover - non-Linux
+                    max_workers = os.cpu_count() or 1
         workers = min(self.n_shards, max_workers)
         self._executor = (
             ThreadPoolExecutor(
@@ -154,11 +203,76 @@ class ShardedPNWStore:
     # plumbing                                                            #
     # ------------------------------------------------------------------ #
 
+    @contextlib.contextmanager
+    def _quiesced(self):
+        """Hold every shard lock (ascending shard order) for the block.
+
+        This is the lifecycle half of the store's lock ordering: K/V
+        paths take exactly one shard lock and never nest, so acquiring
+        all of them in a fixed ascending order (a) waits for every
+        in-flight sub-batch to finish, (b) excludes new K/V work for the
+        duration, and (c) cannot deadlock — there is no lock cycle.
+        Lifecycle bodies must not dispatch onto the shared K/V thread
+        pool while quiesced (queued K/V tasks blocked on these locks
+        would sit in front of them); :meth:`_map_shards_quiesced` uses a
+        transient pool instead.
+        """
+        for lock in self._shard_locks:
+            lock.acquire()
+        try:
+            yield
+        finally:
+            for lock in reversed(self._shard_locks):
+                lock.release()
+
+    def _map_shards_quiesced(
+        self, tasks: dict[int, Callable[[], Any]]
+    ) -> tuple[dict[int, Any], dict[int, BaseException]]:
+        """Like :meth:`_map_shards`, but safe while :meth:`_quiesced`:
+        runs on a transient pool so it never queues behind K/V tasks
+        that are blocked on the very shard locks the caller holds."""
+        results: dict[int, Any] = {}
+        errors: dict[int, BaseException] = {}
+        if len(tasks) <= 1 or self._executor is None:
+            for shard_id in sorted(tasks):
+                try:
+                    results[shard_id] = tasks[shard_id]()
+                except Exception as exc:  # noqa: BLE001 - re-raised by caller
+                    errors[shard_id] = exc
+            return results, errors
+        with ThreadPoolExecutor(
+            max_workers=len(tasks), thread_name_prefix="pnw-lifecycle"
+        ) as pool:
+            futures = {
+                shard_id: pool.submit(task)
+                for shard_id, task in tasks.items()
+            }
+            for shard_id, future in futures.items():
+                exc = future.exception()
+                if exc is not None:
+                    errors[shard_id] = exc
+                else:
+                    results[shard_id] = future.result()
+        return results, errors
+
     def close(self) -> None:
-        """Shut down the shard thread pool (later calls run serially)."""
+        """Drain in-flight batches, then shut the executors down.
+
+        First the shared thread pool is drained *without* holding any
+        shard lock (queued sub-batches still need to acquire them), then
+        the store quiesces and — in process mode — stops every worker
+        process and frees its shared zone.  A thread-mode store stays
+        usable after ``close()`` (calls simply run serially); a
+        process-mode store does not — its workers and zones are gone, so
+        later calls raise.  Idempotent.
+        """
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self.executor_kind == "process":
+            with self._quiesced():
+                for store in self.stores:
+                    store.shutdown()
 
     def __enter__(self) -> "ShardedPNWStore":
         return self
@@ -298,33 +412,48 @@ class ShardedPNWStore:
         shard's runs from different calls interleave in lock-acquisition
         order — callers needing a strict global order must serialize.
         """
+        def globalize_outcome(shard_id, reports, exc):
+            if exc is not None:
+                committed = getattr(exc, "committed_reports", None)
+                if committed is not None:
+                    exc.committed_reports = [
+                        self._globalize(shard_id, report)
+                        for report in committed
+                    ]
+                return (None, exc)
+            return (
+                [self._globalize(shard_id, report) for report in reports],
+                None,
+            )
+
         def run_shard(shard_id: int, runs: list[tuple[str, list]]):
             store = self.stores[shard_id]
-            ops = {
-                "put": store.put_many,
-                "update": store.update_many,
-                "delete": store.delete_many,
-            }
-            outcomes: list[tuple[list[OperationReport] | None,
-                                 BaseException | None]] = []
             with self._shard_locks[shard_id]:
+                if isinstance(store, ShardProcessClient):
+                    # One round-trip per run *sequence*: the worker
+                    # executes the ordered runs locally and returns the
+                    # per-run outcomes with shard-local addresses.
+                    raw = store.run_sequence(runs)
+                    return [
+                        globalize_outcome(shard_id, reports, exc)
+                        for reports, exc in raw
+                    ]
+                ops = {
+                    "put": store.put_many,
+                    "update": store.update_many,
+                    "delete": store.delete_many,
+                }
+                outcomes: list[tuple[list[OperationReport] | None,
+                                     BaseException | None]] = []
                 for kind, items in runs:
                     try:
                         reports = ops[kind](items)
                     except Exception as exc:  # noqa: BLE001 - routed to futures
-                        committed = getattr(exc, "committed_reports", None)
-                        if committed is not None:
-                            exc.committed_reports = [
-                                self._globalize(shard_id, report)
-                                for report in committed
-                            ]
-                        outcomes.append((None, exc))
+                        outcomes.append(globalize_outcome(shard_id, None, exc))
                     else:
-                        outcomes.append((
-                            [self._globalize(shard_id, report)
-                             for report in reports],
-                            None,
-                        ))
+                        outcomes.append(
+                            globalize_outcome(shard_id, reports, None)
+                        )
             return outcomes
 
         tasks = {
@@ -352,7 +481,8 @@ class ShardedPNWStore:
         Every shard warms up — a shard whose slice is empty (partial
         warm-up) trains on its zeroed zone, exactly as a single store
         given fewer rows than buckets does.  Shard training runs
-        concurrently.
+        concurrently.  Quiesces the store first (all shard locks,
+        ascending) so in-flight batches finish before zones are loaded.
         """
         old_data = np.atleast_2d(np.ascontiguousarray(old_data, dtype=np.uint8))
         if old_data.shape[0] > self.config.num_buckets:
@@ -366,32 +496,47 @@ class ShardedPNWStore:
                 self.shard_bases[shard_id] : self.shard_bases[shard_id + 1]
             ]
             tasks[shard_id] = lambda store=store, rows=rows: store.warm_up(rows)
-        _, errors = self._map_shards(tasks)
+        with self._quiesced():
+            _, errors = self._map_shards_quiesced(tasks)
         if errors:
             raise errors[min(errors)]
 
     def retrain(self) -> None:
-        """Retrain every shard's model on its own zone, concurrently."""
-        _, errors = self._map_shards(
-            {i: store.retrain for i, store in enumerate(self.stores)}
-        )
+        """Retrain every shard's model on its own zone, concurrently
+        (quiesced: waits out in-flight batches, excludes new ones)."""
+        with self._quiesced():
+            _, errors = self._map_shards_quiesced(
+                {i: store.retrain for i, store in enumerate(self.stores)}
+            )
         if errors:
             raise errors[min(errors)]
 
     def crash(self) -> None:
-        """Power-fail every shard: all DRAM state is dropped."""
-        for store in self.stores:
-            store.crash()
+        """Power-fail every shard: all DRAM state is dropped.
+
+        Quiesced like every lifecycle call: a ``crash()`` issued while
+        ``run_shard_batches`` traffic is in flight waits for the running
+        sub-batches to finish, so the "power failure" lands at a
+        deterministic batch boundary on every shard.
+        """
+        with self._quiesced():
+            _, errors = self._map_shards_quiesced(
+                {i: store.crash for i, store in enumerate(self.stores)}
+            )
+        if errors:
+            raise errors[min(errors)]
 
     def recover(self) -> None:
         """Rebuild every shard from its own NVM state, concurrently.
 
         Shards recover independently — a shard torn mid-flush loses only
         its own unflagged operations; sibling shards come back whole.
+        Quiesced (all shard locks, ascending) like ``crash()``.
         """
-        _, errors = self._map_shards(
-            {i: store.recover for i, store in enumerate(self.stores)}
-        )
+        with self._quiesced():
+            _, errors = self._map_shards_quiesced(
+                {i: store.recover for i, store in enumerate(self.stores)}
+            )
         if errors:
             raise errors[min(errors)]
 
@@ -510,18 +655,24 @@ class ShardedPNWStore:
         ``store.metrics.keep_reports = True``) has no effect — use
         :meth:`set_keep_reports`.
         """
-        merged = StoreMetrics.merge(store.metrics for store in self.stores)
+        parts = [store.metrics for store in self.stores]
+        merged = StoreMetrics.merge(parts)
         merged.reports = [
             self._globalize(shard_id, report)
-            for shard_id, store in enumerate(self.stores)
-            for report in store.metrics.reports
+            for shard_id, part in enumerate(parts)
+            for report in part.reports
         ]
         return merged
 
     def set_keep_reports(self, keep: bool) -> None:
         """Toggle per-operation report retention on every shard."""
         for store in self.stores:
-            store.metrics.keep_reports = keep
+            if isinstance(store, ShardProcessClient):
+                # ``store.metrics`` is an RPC snapshot here; set the flag
+                # on the worker-resident object instead.
+                store.set_keep_reports(keep)
+            else:
+                store.metrics.keep_reports = keep
 
     def wear_stats(self) -> WearStats:
         """Merged data-zone wear accounting across shards.

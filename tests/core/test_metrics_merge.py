@@ -41,6 +41,21 @@ class TestStoreMetricsMerge:
             [StoreMetrics(), StoreMetrics(keep_reports=True)]
         ).keep_reports
 
+    def test_empty_part_contributes_nothing(self):
+        # A shard with zero traffic merges as the identity element.
+        busy = StoreMetrics(puts=4, deletes=1, keep_reports=True)
+        busy.record(report_for(b"k"))
+        merged = StoreMetrics.merge([busy, StoreMetrics()])
+        assert (merged.puts, merged.deletes) == (4, 1)
+        assert [r.key for r in merged.reports] == [b"k"]
+
+    def test_single_part_round_trips(self):
+        a = StoreMetrics(puts=2, gets=3, keep_reports=True)
+        a.record(report_for(b"only"))
+        merged = StoreMetrics.merge([a])
+        assert (merged.puts, merged.gets) == (2, 3)
+        assert [r.key for r in merged.reports] == [b"only"]
+
     def test_merge_is_a_snapshot(self):
         a = StoreMetrics(puts=1)
         merged = StoreMetrics.merge([a])

@@ -1,0 +1,170 @@
+"""SharedZone / SharedWearStats: the shared-memory arena under
+process-mode shards.
+
+Pins the properties the process executor's crash story rests on: region
+layout (alignment, no overlap), attach-never-zeroes, cross-mapping
+visibility of both data bytes and wear counters, descriptor-backed
+scalar totals behaving exactly like the base class's plain attributes,
+and detach/close/unlink hygiene.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nvm import SharedWearStats, SharedZone, ZoneLayout
+from repro.nvm.device import SimulatedNVM
+from repro.nvm.stats import WearStats
+
+
+@pytest.fixture
+def zone():
+    layout = ZoneLayout(num_buckets=70, bucket_bytes=16)
+    zone = SharedZone.create(layout)
+    yield zone
+    zone.close()
+    zone.unlink()
+
+
+class TestZoneLayout:
+    def test_regions_are_aligned_and_disjoint(self):
+        layout = ZoneLayout(num_buckets=70, bucket_bytes=16,
+                            track_bit_wear=True)
+        regions = sorted(layout.regions().values())
+        for (offset, shape, dtype), nxt in zip(regions, regions[1:]):
+            assert offset % 64 == 0
+            assert offset + int(np.prod(shape)) * dtype.itemsize <= nxt[0]
+        assert layout.total_bytes >= regions[-1][0]
+
+    def test_flag_words_round_up(self):
+        assert ZoneLayout(32, 8).flag_words == 1
+        assert ZoneLayout(33, 8).flag_words == 2
+        assert ZoneLayout(70, 8).flag_words == 3
+
+    def test_bit_wear_region_is_optional(self):
+        assert "data_bit_wear" not in ZoneLayout(8, 4).regions()
+        spec = ZoneLayout(8, 4, track_bit_wear=True).regions()["data_bit_wear"]
+        assert spec[1] == (8, 32)
+
+    def test_layout_is_picklable(self):
+        import pickle
+
+        layout = ZoneLayout(num_buckets=10, bucket_bytes=4)
+        assert pickle.loads(pickle.dumps(layout)) == layout
+
+
+class TestSharedZone:
+    def test_fresh_segment_is_zeroed(self, zone):
+        for name in zone.layout.regions():
+            assert not zone.view(name).any()
+
+    def test_attach_sees_writes_and_never_zeroes(self, zone):
+        zone.view("data")[3, :] = 0xAB
+        zone.view("flags")[1, 0] = 0x7F
+        zone.view("data_int_totals")[0] = 42
+        other = SharedZone.attach(zone.layout, zone.name)
+        try:
+            assert (other.view("data")[3] == 0xAB).all()
+            assert other.view("flags")[1, 0] == 0x7F
+            assert other.data_stats().total_writes == 42
+            other.view("data")[5, :] = 0xCD
+            assert (zone.view("data")[5] == 0xCD).all()
+        finally:
+            other.close()
+
+    def test_device_over_zone_accounts_into_shared_slots(self, zone):
+        nvm = SimulatedNVM(
+            zone.layout.num_buckets, zone.layout.bucket_bytes,
+            data=zone.view("data"), stats=zone.data_stats(),
+        )
+        row = np.full(zone.layout.bucket_bytes, 0xFF, dtype=np.uint8)
+        nvm.write(3, row)
+        # The write landed in the shared buffers, visible to a second
+        # mapping with no copies.
+        other = SharedZone.attach(zone.layout, zone.name)
+        stats = other.data_stats()
+        try:
+            assert (other.view("data")[3] == row).all()
+            assert stats.total_writes == 1
+            assert stats.writes_per_address[3] == 1
+            assert stats.total_bit_updates == nvm.stats.total_bit_updates
+        finally:
+            # Drop the stats views' buffer exports before the mapping goes.
+            stats.detach()
+            other.close()
+
+
+class TestSharedWearStats:
+    def test_matches_private_stats_record_for_record(self, zone):
+        shared = zone.data_stats()
+        private = WearStats(zone.layout.num_buckets, zone.layout.bucket_bytes)
+        for stats in (shared, private):
+            stats.record_write(2, 9, 1, 3, 1, 120.0)
+            stats.record_write_many(
+                np.array([0, 2, 5]), np.array([4, 4, 4]),
+                np.array([1, 1, 1]), np.array([1, 1, 1]),
+                [100.0, 100.0, 100.0],
+            )
+            stats.record_read(55.0)
+        assert shared.summary() == private.summary()
+        assert np.array_equal(shared.writes_per_address,
+                              private.writes_per_address)
+
+    def test_scalar_slots_back_the_named_totals(self, zone):
+        stats = zone.data_stats()
+        stats.total_writes = 7
+        stats.total_write_latency_ns = 1.5
+        assert zone.view("data_int_totals")[0] == 7
+        assert zone.view("data_float_totals")[0] == 1.5
+        assert stats.total_writes == 7
+        assert isinstance(stats.total_writes, int)
+
+    def test_shape_validation(self, zone):
+        with pytest.raises(ValueError, match="writes_per_address"):
+            SharedWearStats(
+                5, 16,
+                writes_per_address=zone.view("data_writes"),
+                int_totals=zone.view("data_int_totals"),
+                float_totals=zone.view("data_float_totals"),
+            )
+        with pytest.raises(ValueError, match="int_totals"):
+            SharedWearStats(
+                zone.layout.num_buckets, 16,
+                writes_per_address=zone.view("data_writes"),
+                int_totals=zone.view("data_int_totals")[:2],
+                float_totals=zone.view("data_float_totals"),
+            )
+
+    def test_merges_with_private_parts(self, zone):
+        shared = zone.data_stats()
+        shared.record_write(1, 3, 0, 1, 1, 10.0)
+        private = WearStats(4, zone.layout.bucket_bytes)
+        private.record_write(0, 5, 0, 1, 1, 20.0)
+        merged = WearStats.merge([shared, private])
+        assert merged.total_writes == 2
+        assert merged.num_buckets == zone.layout.num_buckets + 4
+        assert merged.writes_per_address[1] == 1
+        assert merged.writes_per_address[zone.layout.num_buckets] == 1
+
+    def test_detach_keeps_values_and_releases_the_segment(self):
+        layout = ZoneLayout(num_buckets=16, bucket_bytes=8)
+        zone = SharedZone.create(layout)
+        stats = zone.data_stats()
+        stats.record_write(4, 6, 0, 1, 1, 30.0)
+        stats.detach()
+        zone.close()
+        zone.unlink()
+        # The detached copy still reads the final counters...
+        assert stats.total_writes == 1
+        assert stats.writes_per_address[4] == 1
+        # ...and writes now go to private memory, not a dead mapping.
+        stats.record_read(10.0)
+        assert stats.total_reads == 1
+
+    def test_flag_stats_cover_the_bitmap_device(self, zone):
+        stats = zone.flag_stats()
+        assert stats.num_buckets == zone.layout.flag_words
+        assert stats.bucket_bytes == 4
+        stats.record_write(0, 1, 0, 1, 1, 5.0)
+        assert zone.view("flag_int_totals")[0] == 1

@@ -100,6 +100,23 @@ class TestWearStatsMerge:
         merged = WearStats.merge([a])
         assert merged.summary() == a.summary()
 
+    def test_empty_part_contributes_only_capacity(self):
+        # A shard that saw no traffic must not perturb totals — only its
+        # (all-zero) address range joins the merged wear map.
+        busy = stats_with_writes(3, [(0, 5), (2, 7)])
+        idle = WearStats(4, 4, False)
+        merged = WearStats.merge([busy, idle])
+        assert merged.summary() == busy.summary()
+        assert merged.num_buckets == 7
+        assert merged.writes_per_address.tolist() == [1, 0, 1, 0, 0, 0, 0]
+
+    def test_all_parts_empty(self):
+        merged = WearStats.merge([WearStats(2, 4, False), WearStats(3, 4, False)])
+        assert merged.total_writes == 0
+        assert merged.total_bit_updates == 0
+        assert merged.num_buckets == 5
+        assert merged.writes_per_address.tolist() == [0] * 5
+
     def test_empty_merge_rejected(self):
         with pytest.raises(ValueError, match="at least one"):
             WearStats.merge([])
