@@ -59,7 +59,7 @@ class _BadRequest(Exception):
 def build_store(args):
     config = PNWConfig(
         num_buckets=args.buckets, value_bytes=args.value_bytes, key_bytes=16,
-        n_clusters=8, seed=7, shards=args.shards,
+        n_clusters=8, seed=7, shards=args.shards, tier_mode=args.tier_mode,
     )
     store = make_store(config)
     rng = np.random.default_rng(7)
@@ -150,7 +150,7 @@ class KVServer:
     async def _route(self, method: str, path: str, body: bytes):
         try:
             if path == "/stats" and method == "GET":
-                return 200, json.dumps(self.served).encode()
+                return 200, json.dumps(self._stats()).encode()
             if not path.startswith("/kv/"):
                 return 400, b'{"error": "unknown route"}'
             key = path[len("/kv/"):].encode()
@@ -186,6 +186,28 @@ class KVServer:
         except (ReproError, ValueError) as exc:
             self.served["errors"] += 1
             return 400, json.dumps({"error": str(exc)}).encode()
+
+    def _stats(self) -> dict:
+        """The /stats payload: request counters, the admission window's
+        live state, and (when a DRAM tier is configured) its hit/flush
+        accounting."""
+        core = self.queue.queue
+        store = core.store
+        return {
+            "served": self.served,
+            "ingest": {
+                "ops_submitted": core.ops_submitted,
+                "ops_rejected": core.ops_rejected,
+                "pending_ops": core.pending_ops,
+                "max_pending": core.max_pending,
+                "batches_dispatched": core.batches_dispatched,
+            },
+            "tier": (
+                store.tier_stats.as_dict()
+                if hasattr(store, "tier_stats")
+                else None
+            ),
+        }
 
 
 # ---------------------------------------------------------------------- #
@@ -328,6 +350,10 @@ def main() -> int:
     parser.add_argument("--buckets", type=int, default=4096)
     parser.add_argument("--value-bytes", type=int, default=32)
     parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--tier-mode", default="off",
+                        choices=["off", "write_through", "write_back",
+                                 "predictive"],
+                        help="DRAM tier placement policy for the store")
     parser.add_argument("--max-batch", type=int, default=64)
     parser.add_argument("--max-delay-ms", type=float, default=2.0)
     parser.add_argument("--overload", default="block",

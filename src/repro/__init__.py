@@ -46,6 +46,13 @@ from .ingest import AsyncIngestQueue, IngestQueue
 from .ml import PCA, KMeans, MiniBatchKMeans, choose_k
 from .nvm import HybridMemory, LatencyModel, SimulatedNVM, WearStats
 from .shard import ShardedPNWStore, make_store
+from .tier import (
+    BufferCache,
+    LongevityClassifier,
+    TieredStore,
+    TierStats,
+    WriteBuffer,
+)
 from .writeschemes import (
     Captopril,
     ConventionalWrite,
@@ -69,6 +76,11 @@ __all__ = [
     "MutationEngine",
     "IngestQueue",
     "AsyncIngestQueue",
+    "TieredStore",
+    "TierStats",
+    "BufferCache",
+    "WriteBuffer",
+    "LongevityClassifier",
     "KMeans",
     "MiniBatchKMeans",
     "PCA",

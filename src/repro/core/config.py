@@ -94,6 +94,25 @@ class PNWConfig:
         real multi-core scaling).  Byte-identity contract: both executors
         produce identical store state and reports.  A plain
         :class:`PNWStore` ignores it.
+    tier_mode:
+        DRAM tier policy, consumed by :func:`repro.shard.make_store`:
+        ``"off"`` (no tier — the bare store), ``"write_through"`` (read
+        cache only; durable state byte-identical to no tier),
+        ``"write_back"`` (every mutation staged in DRAM and flushed in
+        coalesced batches), or ``"predictive"`` (per-op longevity
+        routing via :class:`repro.tier.LongevityClassifier`).  The
+        store classes themselves ignore it; the wrapping lives in
+        :class:`repro.tier.TieredStore`.
+    tier_cache_entries:
+        Capacity of the tier's DRAM read cache, in entries (0 disables
+        the read cache).
+    tier_writeback_entries:
+        Global bound on dirty write-back entries across all shards —
+        both the per-shard buffer sizing and the pressure flush
+        trigger, and therefore the maximum data lost to a crash.
+    tier_flush_ops:
+        Interval flush trigger: a dirty entry older than this many tier
+        mutations is flushed even if no size/pressure trigger fired.
     """
 
     num_buckets: int
@@ -120,6 +139,10 @@ class PNWConfig:
     shards: int = 1
     executor: str = "thread"
     kmeans_jobs: int = field(default=1)
+    tier_mode: str = "off"
+    tier_cache_entries: int = 1024
+    tier_writeback_entries: int = 256
+    tier_flush_ops: int = 1024
 
     def __post_init__(self) -> None:
         if self.num_buckets <= 0:
@@ -167,6 +190,24 @@ class PNWConfig:
         if self.executor not in ("thread", "process"):
             raise ConfigError(
                 f"executor must be 'thread' or 'process', got {self.executor!r}"
+            )
+        if self.tier_mode not in ("off", "write_through", "write_back", "predictive"):
+            raise ConfigError(
+                f"tier_mode must be 'off', 'write_through', 'write_back' or "
+                f"'predictive', got {self.tier_mode!r}"
+            )
+        if self.tier_cache_entries < 0:
+            raise ConfigError(
+                f"tier_cache_entries must be >= 0, got {self.tier_cache_entries}"
+            )
+        if self.tier_writeback_entries < 1:
+            raise ConfigError(
+                f"tier_writeback_entries must be >= 1, "
+                f"got {self.tier_writeback_entries}"
+            )
+        if self.tier_flush_ops < 1:
+            raise ConfigError(
+                f"tier_flush_ops must be >= 1, got {self.tier_flush_ops}"
             )
         if self.bucket_bytes % self.word_bytes != 0:
             raise ConfigError(

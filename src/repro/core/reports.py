@@ -12,7 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
-__all__ = ["OperationReport", "StoreMetrics"]
+__all__ = ["OperationReport", "StoreMetrics", "BUFFERED_ADDRESS"]
+
+#: Address stamped on reports of ops absorbed by the DRAM tier: no NVM
+#: bucket was written (yet), so there is no address to report.
+BUFFERED_ADDRESS = -1
 
 
 @dataclass(frozen=True)
@@ -37,6 +41,33 @@ class OperationReport:
         """Modeled NVM time plus measured prediction time — the paper's
         end-to-end write latency decomposition (§VI-E)."""
         return self.nvm_latency_ns + self.predict_ns
+
+    @property
+    def buffered(self) -> bool:
+        """Whether this op was absorbed in DRAM by the tier (no NVM
+        cells programmed; it becomes durable at the next flush)."""
+        return self.address == BUFFERED_ADDRESS
+
+    @classmethod
+    def make_buffered(cls, op: str, key: bytes) -> "OperationReport":
+        """The zero-cost report of a DRAM-absorbed op: every NVM counter
+        is zero because nothing touched the device — the whole point of
+        the write-back tier.  ``address``/``cluster`` are
+        :data:`BUFFERED_ADDRESS` sentinels (no bucket was chosen)."""
+        return cls(
+            op=op,
+            key=key,
+            address=BUFFERED_ADDRESS,
+            cluster=BUFFERED_ADDRESS,
+            fallback_used=False,
+            bit_updates=0,
+            words_touched=0,
+            lines_touched=0,
+            nvm_latency_ns=0.0,
+            predict_ns=0.0,
+            index_lines=0,
+            retrained=False,
+        )
 
 
 @dataclass

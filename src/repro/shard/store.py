@@ -121,15 +121,27 @@ def shard_configs(config: PNWConfig, shards: int | None = None) -> list[PNWConfi
 
 def make_store(
     config: PNWConfig, *, max_workers: int | None = None
-) -> "PNWStore | ShardedPNWStore":
-    """Store factory: single-zone for ``shards=1``, sharded otherwise.
+) -> "PNWStore | ShardedPNWStore | TieredStore":
+    """Store factory: single-zone for ``shards=1``, sharded otherwise,
+    wrapped in a :class:`~repro.tier.TieredStore` when ``tier_mode`` is
+    not ``"off"``.
 
-    The drop-in entry point for drivers that take a ``shards=N`` knob —
-    both return types expose the same ``OperationReport``-based API.
+    The drop-in entry point for drivers that take ``shards=N`` /
+    ``tier_mode=...`` knobs — all return types expose the same
+    ``OperationReport``-based API.
     """
+    store: "PNWStore | ShardedPNWStore"
     if config.shards == 1:
-        return PNWStore(config)
-    return ShardedPNWStore(config, max_workers=max_workers)
+        store = PNWStore(config)
+    else:
+        store = ShardedPNWStore(config, max_workers=max_workers)
+    if config.tier_mode != "off":
+        # Imported here: repro.tier imports engine helpers that import
+        # core modules — a module-level import would be circular.
+        from ..tier import TieredStore
+
+        return TieredStore(store)
+    return store
 
 
 class ShardedPNWStore:

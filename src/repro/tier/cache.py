@@ -1,0 +1,74 @@
+"""Bounded DRAM read cache (the BufferCache half of the tier).
+
+A plain LRU over normalized keys: GETs that hit skip the store entirely
+(no index lookup, no data-zone read, no read-latency accounting on the
+simulated device), misses fill the cache with the value the store
+returned.  Any mutation of a key invalidates its entry — the cache is
+read-allocate only, so it can never serve a value the store (or the
+write buffer, which is consulted first) doesn't agree with.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .stats import TierStats
+
+__all__ = ["BufferCache"]
+
+
+class BufferCache:
+    """LRU cache of ``key -> value_bytes`` with hit/miss/evict accounting.
+
+    ``capacity`` is in entries; ``0`` disables the cache (every lookup
+    misses, fills are dropped) without callers needing a special case.
+    Values are the exact padded bytes ``store.get`` returns, so a hit is
+    indistinguishable from a store read.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.stats = TierStats()
+        self._entries: "OrderedDict[bytes, bytes]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._entries
+
+    def lookup(self, key: bytes) -> bytes | None:
+        """Return the cached value (refreshing recency) or ``None``."""
+        value = self._entries.get(key)
+        if value is None:
+            self.stats.cache_misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.cache_hits += 1
+        return value
+
+    def fill(self, key: bytes, value: bytes) -> None:
+        """Admit a value read from the store, evicting the LRU entry if
+        the cache is full.  A re-fill of a present key just refreshes it."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            return
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.cache_evictions += 1
+        self._entries[key] = value
+
+    def invalidate(self, key: bytes) -> None:
+        """Drop a key's entry after its value was mutated (no-op if
+        absent; only actual drops count as invalidations)."""
+        if self._entries.pop(key, None) is not None:
+            self.stats.cache_invalidations += 1
+
+    def clear(self) -> None:
+        """Drop every entry (crash / recover); counters survive."""
+        self._entries.clear()

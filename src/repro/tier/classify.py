@@ -1,0 +1,178 @@
+"""Longevity classification: which writes deserve the DRAM tier.
+
+The data-longevity literature (PAPERS.md: "Exploiting Data Longevity for
+Enhancing the Lifetime of Flash-based Storage Class Memory") shows that
+routing predicted-*short-lived* values through DRAM and only
+long-lived values straight to the device materially extends lifetime.
+:class:`LongevityClassifier` makes that call per operation from two
+signals, both DRAM-resident and crash-droppable:
+
+* **Key recency** — a key rewritten within the last ``recency_window``
+  tier mutations is hot; its next version is very likely to be
+  rewritten again, so it goes write-back.  This is the exact mechanism
+  that wins on Zipfian hot-key traffic, and it needs no model at all.
+* **Content clusters** — for keys with no history, the value itself is
+  featurized with the same featurizer stack the store's predictor uses
+  (:func:`repro.core.featurizer.make_featurizer` on the config's
+  resolved bit/byte encoding) and assigned to a small K-Means cluster
+  whose *observed* longevity statistics decide the route.  Evidence
+  accrues online: a staged entry rewritten while dirty votes its
+  cluster short-lived, one flushed untouched by the interval trigger
+  votes it long-lived.  ML-PCM's point that the featurizer already sees
+  every payload makes this near-free — one extra transform per
+  unclassified op.
+
+Until the content model has trained (the first ``train_after`` observed
+values) unseen keys default to **long-lived** (write-through): the
+classifier only spends DRAM and risks staged-loss on values it has
+positive evidence about.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from ..core.config import PNWConfig
+from ..core.featurizer import make_featurizer
+from ..ml.kmeans import KMeans
+from .stats import TierStats
+
+__all__ = ["LongevityClassifier"]
+
+
+class LongevityClassifier:
+    """Route each mutation write-back (short-lived) or write-through.
+
+    Deterministic for a given config/seed and op stream: time is the
+    tier's mutation sequence number, never the wall clock.
+    """
+
+    def __init__(
+        self,
+        config: PNWConfig,
+        *,
+        n_clusters: int = 8,
+        train_after: int = 512,
+        recency_window: int = 2048,
+        history: int = 8192,
+        threshold: float = 0.5,
+        min_evidence: int = 8,
+    ) -> None:
+        self.config = config
+        self.n_clusters = n_clusters
+        self.train_after = train_after
+        self.recency_window = recency_window
+        self.history = history
+        self.threshold = threshold
+        self.min_evidence = min_evidence
+        self.stats = TierStats()
+        # The store's featurizer stack on the raw encoding (no PCA: the
+        # classifier fits once on early traffic and PCA axes from a few
+        # hundred rows would be noise, not signal).
+        self._featurizer = make_featurizer(
+            config.resolved_featurizer, None, config.seed
+        )
+        self._model: KMeans | None = None
+        self._pending: list[bytes] = []
+        #: key -> sequence number of its last write, LRU-pruned.
+        self._last_seen: "OrderedDict[bytes, int]" = OrderedDict()
+        self._short_votes = np.zeros(n_clusters, dtype=np.int64)
+        self._total_votes = np.zeros(n_clusters, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # model lifecycle                                                     #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_trained(self) -> bool:
+        return self._model is not None
+
+    def _rows(self, values: list[bytes]) -> np.ndarray:
+        width = self.config.value_bytes
+        return np.frombuffer(b"".join(values), dtype=np.uint8).reshape(
+            len(values), width
+        )
+
+    def _maybe_train(self) -> None:
+        if self._model is not None or len(self._pending) < self.train_after:
+            return
+        rows = self._rows(self._pending)
+        features = self._featurizer.fit_transform(rows)
+        model = KMeans(
+            min(self.n_clusters, rows.shape[0]),
+            n_init=1,
+            max_iter=25,
+            seed=self.config.seed,
+        )
+        model.fit(features)
+        self._model = model
+        self._pending = []
+
+    def _cluster_of(self, value: bytes) -> int:
+        assert self._model is not None
+        features = self._featurizer.transform(self._rows([value]))
+        return int(self._model.predict(features)[0])
+
+    # ------------------------------------------------------------------ #
+    # classification                                                      #
+    # ------------------------------------------------------------------ #
+
+    def classify(self, key: bytes, value: bytes, seq: int) -> bool:
+        """True -> predicted short-lived (write-back), False -> long.
+
+        ``seq`` is the tier's mutation counter at this op.
+        """
+        short = self._decide(key, value, seq)
+        if short:
+            self.stats.predicted_short += 1
+        else:
+            self.stats.predicted_long += 1
+        return short
+
+    def _decide(self, key: bytes, value: bytes, seq: int) -> bool:
+        last = self._last_seen.get(key)
+        if last is not None and seq - last <= self.recency_window:
+            return True
+        if self._model is None:
+            return False
+        cluster = self._cluster_of(value)
+        if self._total_votes[cluster] < self.min_evidence:
+            return False
+        rate = self._short_votes[cluster] / self._total_votes[cluster]
+        return rate >= self.threshold
+
+    # ------------------------------------------------------------------ #
+    # learning signals (fed by the tiered store)                          #
+    # ------------------------------------------------------------------ #
+
+    def record_write(self, key: bytes, value: bytes, seq: int) -> None:
+        """Note one mutation of ``key`` (any route) at tier time ``seq``."""
+        self._last_seen[key] = seq
+        self._last_seen.move_to_end(key)
+        while len(self._last_seen) > self.history:
+            self._last_seen.popitem(last=False)
+        if self._model is None:
+            self._pending.append(value)
+            self._maybe_train()
+
+    def observe(self, value: bytes, *, short: bool) -> None:
+        """Ground-truth vote: a staged entry was rewritten while dirty
+        (``short=True``) or aged out of the buffer untouched
+        (``short=False``)."""
+        if self._model is None:
+            return
+        cluster = self._cluster_of(value)
+        self._total_votes[cluster] += 1
+        if short:
+            self._short_votes[cluster] += 1
+
+    def reset(self) -> None:
+        """Drop all learned state (the tier's ``crash()``: everything
+        here is DRAM)."""
+        self._model = None
+        self._pending = []
+        self._last_seen.clear()
+        self._short_votes[:] = 0
+        self._total_votes[:] = 0

@@ -1,0 +1,101 @@
+"""Counters for the DRAM tier (buffer cache + write-back buffer).
+
+Every tier component (the read cache, each per-shard write buffer, the
+longevity classifier, and the :class:`~repro.tier.store.TieredStore`
+itself) owns one :class:`TierStats` and bumps only its own fields;
+:meth:`TierStats.merge` sums the parts into the whole-tier snapshot the
+same way :meth:`~repro.core.reports.StoreMetrics.merge` and
+:meth:`~repro.nvm.stats.WearStats.merge` aggregate per-shard accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Iterable
+
+__all__ = ["TierStats"]
+
+
+@dataclass
+class TierStats:
+    """Operation counters for the DRAM tier in front of the NVM store.
+
+    Cache counters (owned by :class:`~repro.tier.cache.BufferCache`):
+
+    * ``cache_hits`` / ``cache_misses`` — GET lookups served from /
+      falling through the DRAM read cache.
+    * ``cache_evictions`` — LRU entries dropped to admit a new fill.
+    * ``cache_invalidations`` — entries dropped because their key was
+      mutated (the cache never serves a stale value).
+
+    Write-buffer counters (owned by each per-shard
+    :class:`~repro.tier.writebuffer.WriteBuffer`):
+
+    * ``staged`` — mutations absorbed into DRAM as new dirty entries.
+    * ``coalesced`` — rewrites of an already-staged key folded into the
+      existing dirty entry; each one is an NVM write that never happened.
+    * ``writeback_hits`` — GETs served straight from a dirty entry.
+
+    Flush / routing counters (owned by the tiered store):
+
+    * ``flush_events`` — write-buffer drains through the batch path.
+    * ``flushed`` — dirty entries written to NVM by those drains.
+    * ``write_through`` — ops routed straight through to the store.
+    * ``unflushed_lost`` — dirty entries dropped by :meth:`crash` before
+      any flush made them durable; the tier's precisely-bounded data
+      loss (everything else is exactly as durable as the plain store).
+
+    Classifier counters (owned by
+    :class:`~repro.tier.classify.LongevityClassifier`):
+
+    * ``predicted_short`` / ``predicted_long`` — per-op longevity calls
+      in ``tier_mode="predictive"``.
+    """
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_invalidations: int = 0
+    staged: int = 0
+    coalesced: int = 0
+    writeback_hits: int = 0
+    flush_events: int = 0
+    flushed: int = 0
+    write_through: int = 0
+    unflushed_lost: int = 0
+    predicted_short: int = 0
+    predicted_long: int = 0
+
+    @classmethod
+    def merge(cls, parts: Iterable["TierStats"]) -> "TierStats":
+        """Sum several components' counters into one tier-wide snapshot.
+
+        The result is independent of the parts (later bumps don't show
+        up); re-merge for a fresh view.  Field-generic on purpose: a
+        counter added to the dataclass is merged automatically, so the
+        tier can never silently under-report a new statistic.
+        """
+        parts = list(parts)
+        if not parts:
+            raise ValueError("merge() needs at least one TierStats")
+        merged = cls()
+        for part in parts:
+            for f in fields(cls):
+                setattr(merged, f.name, getattr(merged, f.name) + getattr(part, f.name))
+        return merged
+
+    def as_dict(self) -> dict[str, int]:
+        """Flat counter dictionary (for ``/stats`` endpoints and tests)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of cache lookups served from DRAM."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def absorbed(self) -> int:
+        """NVM writes the tier absorbed: coalesced rewrites plus staged
+        entries that never reached the device (still dirty or lost)."""
+        return self.coalesced + self.staged - self.flushed

@@ -1,0 +1,603 @@
+"""The DRAM tier: a longevity-aware cache + write-back buffer in front
+of the NVM store.
+
+The paper's premise is that NVM cells endure a bounded number of
+writes, yet without this module every PUT/UPDATE — including a value
+that will be rewritten milliseconds later — programs NVM cells
+immediately.  :class:`TieredStore` interposes a DRAM tier between the
+public K/V API and the store's staged write engine:
+
+* a :class:`~repro.tier.cache.BufferCache` — bounded LRU read cache;
+  GET hits never touch the index or the data zone;
+* one :class:`~repro.tier.writebuffer.WriteBuffer` per shard — a
+  bounded write-back staging area that absorbs mutations in DRAM,
+  coalesces rewrites of hot keys (each coalesce is an NVM write that
+  never happens), and drains through the store's existing ``put_many``
+  batch pipeline on three triggers: **size** (a shard's buffer reaches
+  capacity), **interval** (the oldest dirty entry ages past
+  ``tier_flush_ops`` tier mutations), and **pressure** (total staged
+  entries across shards reach the global ``tier_writeback_entries``
+  bound);
+* a :class:`~repro.tier.classify.LongevityClassifier`
+  (``mode="predictive"``) that routes predicted-short-lived values
+  write-back and predicted-long-lived values write-through, reusing the
+  store's featurizer stack on each payload.
+
+Placement policy (``tier_mode`` on :class:`~repro.core.config.PNWConfig`
+or the ``mode=`` argument):
+
+=================  =====================================================
+``write_through``  Every mutation passes straight to the store — the
+                   durable state is *byte-identical* to running without
+                   a tier; only GETs are accelerated by the read cache.
+``write_back``     Every mutation stages in DRAM first; NVM sees only
+                   coalesced flushes.  Maximum wear reduction, bounded
+                   window of volatile data.
+``predictive``     Per-op: the longevity classifier picks write-back
+                   for predicted-short-lived values and write-through
+                   for the rest — wear savings close to ``write_back``
+                   with a much smaller volatile window.
+=================  =====================================================
+
+Crash semantics — precise by construction:
+
+* ``crash()`` loses **exactly** the dirty write-back entries that no
+  flush has drained; the count is recorded in
+  :attr:`~repro.tier.stats.TierStats.unflushed_lost` before the
+  underlying store crashes.  Write-through ops (and flushed write-back
+  entries) are exactly as durable as on the bare store.
+* ``recover()`` rebuilds the store from NVM as usual; tier caches start
+  cold (they are DRAM).
+* ``close()`` (and ``flush()``) drain every dirty entry
+  deterministically through the batch path, so a clean shutdown loses
+  nothing.
+
+Composition: the tier wraps a single :class:`~repro.core.store.PNWStore`
+or a :class:`~repro.shard.ShardedPNWStore` under either executor — the
+write buffers are per shard, so flushes become per-shard sub-batches on
+the store's own thread pool or worker processes.  It also speaks the
+``run_shard_batches`` / ``shard_of_key`` / ``n_shards`` surface, so an
+:class:`~repro.ingest.IngestQueue` (and the asyncio front door above
+it) can drain through the tier unchanged.  Reports of DRAM-absorbed ops
+are :meth:`~repro.core.reports.OperationReport.make_buffered` sentinels
+(``address == BUFFERED_ADDRESS``, zero NVM cost); read-your-write holds
+at every moment because GETs consult the write buffer first.
+
+Thread safety: one reentrant lock serializes every tier entry point.
+Under it, flushes still fan out across shards inside the store (its
+per-shard locks and executors are untouched), so write-back mode
+*increases* effective batching rather than fighting the store's
+concurrency.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+import numpy as np
+
+from ..core.config import PNWConfig
+from ..core.reports import OperationReport, StoreMetrics
+from ..engine.plan import check_unique, validate_values
+from ..errors import ConfigError, KeyNotFoundError
+from ..index.base import KeyIndex
+from ..nvm.stats import WearStats
+from .cache import BufferCache
+from .classify import LongevityClassifier
+from .stats import TierStats
+from .writebuffer import StagedEntry, WriteBuffer
+
+__all__ = ["TieredStore", "TIER_MODES"]
+
+TIER_MODES = ("write_through", "write_back", "predictive")
+
+
+class TieredStore:
+    """DRAM buffer cache + write-back buffer wrapping a PNW store.
+
+    Parameters
+    ----------
+    store:
+        A :class:`~repro.core.store.PNWStore` or
+        :class:`~repro.shard.ShardedPNWStore` (either executor).  The
+        tier becomes the store's only mutation driver; don't mutate the
+        wrapped store directly while the tier is in use.
+    mode:
+        ``"write_through"`` / ``"write_back"`` / ``"predictive"``.
+        Defaults to the store config's ``tier_mode`` (or
+        ``"write_back"`` if that is ``"off"``).
+    cache_entries, writeback_entries, flush_ops:
+        Override the config's ``tier_cache_entries`` /
+        ``tier_writeback_entries`` / ``tier_flush_ops``.
+    """
+
+    def __init__(
+        self,
+        store,
+        *,
+        mode: str | None = None,
+        cache_entries: int | None = None,
+        writeback_entries: int | None = None,
+        flush_ops: int | None = None,
+    ) -> None:
+        self.store = store
+        self.config: PNWConfig = store.config
+        if mode is None:
+            mode = (
+                self.config.tier_mode
+                if self.config.tier_mode != "off"
+                else "write_back"
+            )
+        if mode not in TIER_MODES:
+            raise ConfigError(
+                f"tier mode must be one of {TIER_MODES}, got {mode!r}"
+            )
+        self.mode = mode
+        self._sharded = hasattr(store, "shard_of_key")
+        #: Lane count for the admission layer (one per shard).
+        self.n_shards: int = store.n_shards if self._sharded else 1
+        cache_entries = (
+            self.config.tier_cache_entries
+            if cache_entries is None
+            else cache_entries
+        )
+        self.writeback_entries = (
+            self.config.tier_writeback_entries
+            if writeback_entries is None
+            else writeback_entries
+        )
+        self.flush_ops = (
+            self.config.tier_flush_ops if flush_ops is None else flush_ops
+        )
+        if self.writeback_entries < 1:
+            raise ConfigError(
+                f"writeback_entries must be >= 1, got {self.writeback_entries}"
+            )
+        if self.flush_ops < 1:
+            raise ConfigError(
+                f"flush_ops must be >= 1, got {self.flush_ops}"
+            )
+        self.cache = BufferCache(cache_entries)
+        per_shard = max(1, self.writeback_entries // self.n_shards)
+        self._buffers = [WriteBuffer(per_shard) for _ in range(self.n_shards)]
+        self.classifier = (
+            LongevityClassifier(self.config) if mode == "predictive" else None
+        )
+        #: Tier-level counters (flush/routing/crash); component counters
+        #: live on the cache, buffers, and classifier.  ``tier_stats``
+        #: merges them all.
+        self._local = TierStats()
+        self._lock = threading.RLock()
+        self._seq = 0
+
+    # ------------------------------------------------------------------ #
+    # plumbing                                                            #
+    # ------------------------------------------------------------------ #
+
+    def _normalize(self, key: bytes) -> bytes:
+        return KeyIndex.normalize_key(key, self.config.key_bytes)
+
+    def _pad(self, value: bytes | np.ndarray) -> bytes:
+        if isinstance(value, np.ndarray):
+            value = value.tobytes()
+        return bytes(value).ljust(self.config.value_bytes, b"\x00")
+
+    def shard_of_key(self, key: bytes) -> int:
+        """The write-buffer lane (= store shard) owning ``key``."""
+        if self._sharded:
+            return self.store.shard_of_key(key)
+        self._normalize(key)  # single-zone: still validate the key
+        return 0
+
+    @property
+    def tier_stats(self) -> TierStats:
+        """Whole-tier counter snapshot, merged across every component."""
+        parts = [self._local, self.cache.stats]
+        parts.extend(buffer.stats for buffer in self._buffers)
+        if self.classifier is not None:
+            parts.append(self.classifier.stats)
+        return TierStats.merge(parts)
+
+    @property
+    def dirty_entries(self) -> int:
+        """Write-back entries staged in DRAM but not yet flushed."""
+        return sum(len(buffer) for buffer in self._buffers)
+
+    # ------------------------------------------------------------------ #
+    # K/V operations                                                      #
+    # ------------------------------------------------------------------ #
+
+    def put(self, key: bytes, value: bytes | np.ndarray) -> OperationReport:
+        """PUT through the tier (absorbed or passed through per policy)."""
+        return self.put_many([(key, value)])[0]
+
+    def put_unique(self, key: bytes, value: bytes | np.ndarray) -> OperationReport:
+        """Insert-only PUT; staged creates count as existing."""
+        return self.put_many([(key, value)], unique=True)[0]
+
+    def update(self, key: bytes, value: bytes | np.ndarray) -> OperationReport:
+        """UPDATE through the tier; missing keys (staged creates count
+        as present) raise :class:`KeyNotFoundError`."""
+        return self.update_many([(key, value)])[0]
+
+    def delete(self, key: bytes) -> OperationReport:
+        """DELETE through the tier.  A staged create is cancelled purely
+        in DRAM; anything durable is deleted write-through."""
+        return self.delete_many([key])[0]
+
+    def put_many(
+        self,
+        pairs: Iterable[tuple[bytes, bytes | np.ndarray]],
+        *,
+        unique: bool = False,
+    ) -> list[OperationReport]:
+        """Batched PUT.  Values are validated up front (an oversized
+        value rejects the batch before any mutation), and with
+        ``unique=True`` the whole batch is pre-checked against the tier
+        view — staged creates included — with the engine's shared
+        :func:`~repro.engine.plan.check_unique`."""
+        items = list(pairs)
+        keys = [self._normalize(key) for key, _ in items]
+        validate_values(self.config, [value for _, value in items])
+        with self._lock:
+            if unique:
+                check_unique(keys, lambda k: k in self)
+            return self._mutate_many(
+                "put", list(zip(keys, (value for _, value in items)))
+            )
+
+    def update_many(
+        self, pairs: Iterable[tuple[bytes, bytes | np.ndarray]]
+    ) -> list[OperationReport]:
+        """Batched UPDATE; a missing key raises after the prefix is
+        applied (``committed_reports`` carried), like the bare store."""
+        items = list(pairs)
+        keys = [self._normalize(key) for key, _ in items]
+        validate_values(self.config, [value for _, value in items])
+        with self._lock:
+            return self._mutate_many(
+                "update", list(zip(keys, (value for _, value in items)))
+            )
+
+    def delete_many(self, keys: Iterable[bytes]) -> list[OperationReport]:
+        """Batched DELETE with the same prefix-then-raise miss semantics
+        as the bare store."""
+        normalized = [self._normalize(key) for key in keys]
+        with self._lock:
+            return self._mutate_many(
+                "delete", [(key, None) for key in normalized]
+            )
+
+    def get(self, key: bytes) -> bytes:
+        """GET: write buffer first (read-your-write for staged ops),
+        then the DRAM read cache, then the store (filling the cache)."""
+        key = self._normalize(key)
+        with self._lock:
+            if self.mode != "write_through":
+                entry = self._buffers[self.shard_of_key(key)].peek(key)
+                if entry is not None:
+                    return entry.value
+            cached = self.cache.lookup(key)
+            if cached is not None:
+                return cached
+            value = self.store.get(key)
+            self.cache.fill(key, value)
+            return value
+
+    # ------------------------------------------------------------------ #
+    # the mutation pipeline                                               #
+    # ------------------------------------------------------------------ #
+
+    def _store_op(self, kind: str):
+        return {
+            "put": self.store.put_many,
+            "update": self.store.update_many,
+            "delete": self.store.delete_many,
+        }[kind]
+
+    def _mutate_many(
+        self, kind: str, items: list[tuple[bytes, bytes | None]]
+    ) -> list[OperationReport]:
+        if self.mode == "write_through":
+            return self._pass_through(kind, items)
+        out: list[OperationReport] = []
+        #: Consecutive pass-through ops awaiting one batched store call.
+        run: list = []
+
+        def flush_run() -> None:
+            if not run:
+                return
+            batch, run[:] = list(run), []
+            try:
+                reports = self._store_op(kind)(batch)
+            except Exception as exc:
+                committed = getattr(exc, "committed_reports", None)
+                if committed is not None:
+                    exc.committed_reports = out + list(committed)
+                raise
+            out.extend(reports)
+            self._local.write_through += len(reports)
+
+        for key, value in items:
+            self._seq += 1
+            if kind == "delete":
+                self._delete_one(key, run, flush_run, out)
+            else:
+                self._write_one(kind, key, value, run, flush_run, out)
+            self._check_triggers()
+        flush_run()
+        return out
+
+    def _write_one(self, kind, key, value, run, flush_run, out) -> None:
+        buffer = self._buffers[self.shard_of_key(key)]
+        padded = self._pad(value)
+        self.cache.invalidate(key)
+        entry = buffer.entry(key)
+        if entry is not None:
+            # Rewrite of a dirty key: always absorbed — this coalesce IS
+            # the NVM write the tier saves.
+            buffer.stage(key, padded, is_create=entry.is_create, seq=entry.seq)
+            if self.classifier is not None:
+                if entry.rewrites == 1:
+                    # First rewrite while staged: ground truth that this
+                    # content is short-lived (voted once per entry).
+                    self.classifier.observe(padded, short=True)
+                self.classifier.record_write(key, padded, self._seq)
+            out.append(OperationReport.make_buffered(kind, key))
+            return
+        exists = key in self.store
+        if kind == "update" and not exists:
+            flush_run()
+            exc = KeyNotFoundError(f"key {key!r} not found")
+            exc.committed_reports = list(out)
+            raise exc
+        if self.mode == "write_back":
+            write_back = True
+        else:
+            write_back = self.classifier.classify(key, padded, self._seq)
+        if self.classifier is not None:
+            self.classifier.record_write(key, padded, self._seq)
+        if write_back:
+            flush_run()
+            buffer.stage(key, padded, is_create=not exists, seq=self._seq)
+            out.append(OperationReport.make_buffered(kind, key))
+        else:
+            run.append((key, value))
+
+    def _delete_one(self, key, run, flush_run, out) -> None:
+        buffer = self._buffers[self.shard_of_key(key)]
+        self.cache.invalidate(key)
+        entry = buffer.entry(key)
+        if entry is None:
+            run.append(key)  # pass through; store raises on a true miss
+            return
+        flush_run()
+        buffer.drop(key)
+        if entry.is_create:
+            # The store never saw this key: cancelling the staged create
+            # is the whole delete.
+            out.append(OperationReport.make_buffered("delete", key))
+        else:
+            # A durable version exists underneath: delete it through.
+            run.append(key)
+
+    def _pass_through(
+        self, kind: str, items: list[tuple[bytes, bytes | None]]
+    ) -> list[OperationReport]:
+        """``write_through`` mode: hand the whole batch to the store so
+        durable state, reports, and error semantics are byte-identical
+        to running without a tier."""
+        batch = [key if kind == "delete" else (key, value) for key, value in items]
+        for key, _ in items:
+            self._seq += 1
+            self.cache.invalidate(key)
+        try:
+            reports = self._store_op(kind)(batch)
+        except Exception as exc:
+            committed = getattr(exc, "committed_reports", None)
+            self._local.write_through += len(committed) if committed else 0
+            raise
+        self._local.write_through += len(reports)
+        return reports
+
+    # ------------------------------------------------------------------ #
+    # flushing                                                            #
+    # ------------------------------------------------------------------ #
+
+    def _check_triggers(self) -> None:
+        """Fire the size / pressure / interval flush triggers."""
+        full = [
+            shard_id
+            for shard_id, buffer in enumerate(self._buffers)
+            if buffer.full()
+        ]
+        if full:
+            self._flush_buffers(full, aged=False)
+        if self.dirty_entries >= self.writeback_entries:
+            self._flush_buffers(range(self.n_shards), aged=False)
+            return
+        aged = [
+            shard_id
+            for shard_id, buffer in enumerate(self._buffers)
+            if buffer.oldest_seq() is not None
+            and self._seq - buffer.oldest_seq() >= self.flush_ops
+        ]
+        if aged:
+            self._flush_buffers(aged, aged=True)
+
+    def _flush_buffers(self, shard_ids, *, aged: bool) -> int:
+        """Drain the given shards' dirty entries through ``put_many``.
+
+        One store call covers every shard (the sharded store splits it
+        into concurrent per-shard sub-batches).  On a mid-flush failure
+        (e.g. pool exhaustion) the entries the store reports committed
+        stay flushed and the remainder is re-staged, so nothing is
+        silently dropped; the error escapes to the caller that
+        triggered the flush.
+        """
+        groups: list[tuple[int, list[tuple[bytes, StagedEntry]]]] = []
+        for shard_id in shard_ids:
+            taken = self._buffers[shard_id].take_all()
+            if taken:
+                groups.append((shard_id, taken))
+        batch = [
+            (key, entry.value) for _, taken in groups for key, entry in taken
+        ]
+        if not batch:
+            return 0
+        self._local.flush_events += 1
+        try:
+            reports = self.store.put_many(batch)
+        except Exception as exc:
+            committed = {
+                report.key
+                for report in getattr(exc, "committed_reports", [])
+            }
+            for shard_id, taken in groups:
+                self._buffers[shard_id].restage(
+                    [(k, e) for k, e in taken if k not in committed]
+                )
+            self._local.flushed += len(committed)
+            raise
+        self._local.flushed += len(reports)
+        if self.classifier is not None and aged:
+            # Entries that aged a full interval without a rewrite are
+            # ground truth for long-lived content.
+            for _, taken in groups:
+                for _, entry in taken:
+                    if entry.rewrites == 0:
+                        self.classifier.observe(entry.value, short=False)
+        return len(reports)
+
+    def flush(self) -> int:
+        """Drain every dirty entry to NVM now; returns entries written."""
+        with self._lock:
+            return self._flush_buffers(range(self.n_shards), aged=False)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                           #
+    # ------------------------------------------------------------------ #
+
+    def warm_up(self, old_data: np.ndarray) -> None:
+        """Delegate to the store (the tier has nothing to warm)."""
+        with self._lock:
+            self.store.warm_up(old_data)
+
+    def retrain(self) -> None:
+        """Flush first — so staged values are zone contents the model
+        can see — then retrain the store."""
+        with self._lock:
+            self._flush_buffers(range(self.n_shards), aged=False)
+            self.store.retrain()
+
+    def crash(self) -> None:
+        """Power failure: every DRAM structure is lost.
+
+        Loses *exactly* the unflushed write-back entries — counted into
+        ``tier_stats.unflushed_lost`` — plus the (rebuildable) read
+        cache and classifier state; then the store's own DRAM
+        structures crash as usual.
+        """
+        with self._lock:
+            lost = sum(buffer.clear() for buffer in self._buffers)
+            self._local.unflushed_lost += lost
+            self.cache.clear()
+            if self.classifier is not None:
+                self.classifier.reset()
+            self.store.crash()
+
+    def recover(self) -> None:
+        """Rebuild the store from NVM; tier caches start cold."""
+        with self._lock:
+            self.store.recover()
+
+    def close(self) -> None:
+        """Deterministic shutdown: flush every dirty entry, then close
+        the store (if it has a ``close``).  Nothing staged is lost on a
+        clean close."""
+        with self._lock:
+            self._flush_buffers(range(self.n_shards), aged=False)
+            close = getattr(self.store, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "TieredStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # ingest-queue surface                                                #
+    # ------------------------------------------------------------------ #
+
+    def run_shard_batches(
+        self, batches: dict[int, list[tuple[str, list]]]
+    ) -> dict[int, list[tuple[list[OperationReport] | None, BaseException | None]]]:
+        """The :class:`~repro.ingest.IngestQueue` drain path, through
+        the tier.  Runs execute in shard order under the tier lock (the
+        tier's buffers and classifier are shared state); the flushes
+        they trigger still fan out across the store's shards, so the
+        admission layer keeps its multi-lane surface and write-back
+        batching stays intact."""
+        results: dict[
+            int, list[tuple[list[OperationReport] | None, BaseException | None]]
+        ] = {}
+        ops = {
+            "put": self.put_many,
+            "update": self.update_many,
+            "delete": self.delete_many,
+        }
+        for shard_id in sorted(batches):
+            outcomes: list[
+                tuple[list[OperationReport] | None, BaseException | None]
+            ] = []
+            for kind, items in batches[shard_id]:
+                try:
+                    reports = ops[kind](items)
+                except Exception as exc:  # noqa: BLE001 - routed to futures
+                    outcomes.append((None, exc))
+                else:
+                    outcomes.append((reports, None))
+            results[shard_id] = outcomes
+        return results
+
+    # ------------------------------------------------------------------ #
+    # aggregation / introspection                                         #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def metrics(self) -> StoreMetrics:
+        """The wrapped store's operation counters (NVM-side view)."""
+        return self.store.metrics
+
+    def wear_stats(self) -> WearStats:
+        """Data-zone wear accounting (merged across shards if sharded)."""
+        if self._sharded:
+            return self.store.wear_stats()
+        return self.store.nvm.stats
+
+    def wear_summary(self) -> dict[str, float]:
+        """Headline counters of the data-zone wear."""
+        return self.wear_stats().summary()
+
+    @property
+    def live_fraction(self) -> float:
+        """Occupied fraction of the underlying data zone (staged-only
+        creates are not in the zone yet)."""
+        return self.store.live_fraction
+
+    def __contains__(self, key: bytes) -> bool:
+        key = self._normalize(key)
+        with self._lock:
+            if self.mode != "write_through":
+                if key in self._buffers[self.shard_of_key(key)]:
+                    return True
+            return key in self.store
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.store) + sum(
+                buffer.creates for buffer in self._buffers
+            )

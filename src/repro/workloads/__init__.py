@@ -2,6 +2,7 @@
 
 from .amazon import AmazonAccessWorkload
 from .base import Workload
+from .churn import ChurnTTLWorkload, ZipfianKVWorkload
 from .docwords import DocWordsWorkload
 from .images import CIFARLikeWorkload, FashionLikeWorkload, MNISTLikeWorkload
 from .mixture import MixtureWorkload
@@ -21,6 +22,8 @@ __all__ = [
     "FashionLikeWorkload",
     "CIFARLikeWorkload",
     "MixtureWorkload",
+    "ZipfianKVWorkload",
+    "ChurnTTLWorkload",
     "VideoProfile",
     "VideoWorkload",
     "SHERBROOKE",

@@ -11,6 +11,7 @@ from typing import Callable
 
 from .amazon import AmazonAccessWorkload
 from .base import Workload
+from .churn import ChurnTTLWorkload, ZipfianKVWorkload
 from .docwords import DocWordsWorkload
 from .images import CIFARLikeWorkload, FashionLikeWorkload, MNISTLikeWorkload
 from .roadnet import RoadNetworkWorkload
@@ -30,6 +31,8 @@ WORKLOADS: dict[str, Callable[..., Workload]] = {
     "cifar": CIFARLikeWorkload,
     "sherbrooke": lambda seed=None: VideoWorkload(SHERBROOKE, seed=seed),
     "seq2": lambda seed=None: VideoWorkload(TRAFFIC_SEQ2, seed=seed),
+    "zipfian": ZipfianKVWorkload,
+    "churn": ChurnTTLWorkload,
 }
 
 

@@ -1,0 +1,147 @@
+"""Crash semantics of the DRAM tier and merge/recovery accounting.
+
+The tier's contract: a crash loses *exactly* the unflushed write-back
+entries (counted in ``TierStats.unflushed_lost``); write-through ops and
+flushed entries are exactly as durable as on the bare store; merged
+per-shard accounting (``StoreMetrics.merge`` / ``WearStats.merge``)
+stays consistent through a crash that lands between a write-back flush
+and the next — nothing is double-counted by recovery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import StoreMetrics, TieredStore, WearStats, make_store
+from repro.errors import KeyNotFoundError
+from tests.tier.test_tiered_store import (
+    BACKENDS,
+    drive_zipfian,
+    make_config,
+    warmed,
+)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestCrashRecover:
+    def test_crash_loses_exactly_the_dirty_entries(self, backend):
+        store = warmed(backend)
+        try:
+            oracle = drive_zipfian(store, 120)
+            dirty = store.dirty_entries
+            durable = len(store.store)
+            assert dirty > 0  # the scenario must actually stage data
+            store.crash()
+            assert store.tier_stats.unflushed_lost == dirty
+            assert store.dirty_entries == 0
+            store.recover()
+            # Exactly the durable keys survive; staged-only creates are
+            # the counted loss.
+            assert len(store) == durable
+            assert len(oracle) - durable <= dirty
+        finally:
+            store.close()
+
+    def test_flushed_entries_survive_the_crash(self, backend):
+        store = warmed(backend)
+        try:
+            store.put(b"keep", b"payload")
+            store.flush()
+            store.put(b"lose", b"volatile")  # staged, never flushed
+            store.crash()
+            store.recover()
+            assert store.get(b"keep") == b"payload".ljust(24, b"\x00")
+            with pytest.raises(KeyNotFoundError):
+                store.get(b"lose")
+            assert store.tier_stats.unflushed_lost == 1
+        finally:
+            store.close()
+
+    def test_clean_close_loses_nothing(self, backend):
+        store = warmed(backend)
+        oracle = drive_zipfian(store, 120)
+        store.close()  # deterministic flush
+        assert store.tier_stats.unflushed_lost == 0
+        # Reopen the same NVM view: everything admitted is durable.
+        assert store.tier_stats.flushed + store.tier_stats.write_through >= len(oracle)
+
+
+class TestWriteThroughDurability:
+    def test_write_through_is_as_durable_as_the_bare_store(self):
+        bare = make_store(make_config(tier_mode="off"))
+        tiered = warmed("single", tier_mode="write_through")
+        rng = np.random.default_rng(42)
+        bare.warm_up(
+            np.asarray(rng.integers(0, 256, (192, 24)), dtype=np.uint8)
+        )
+        for target in (bare, tiered):
+            target.put_many([(f"k{i}".encode(), b"v") for i in range(20)])
+        for target in (bare, tiered):
+            target.crash()
+            target.recover()
+        assert len(tiered) == len(bare) == 20
+        assert tiered.tier_stats.unflushed_lost == 0
+
+
+class TestMergeAccountingThroughRecovery:
+    """The satellite: merged per-shard stats vs a mid-crash flush.
+
+    A write-back flush programs NVM cells on several shards; the crash
+    lands *after* that flush with more entries dirty.  Recovery rebuilds
+    DRAM from NVM — it must not re-program (or re-count) the flushed
+    cells, and the merged views must equal the per-shard sums exactly.
+    """
+
+    def _driven_sharded_tier(self) -> TieredStore:
+        store = warmed("threads", tier_writeback_entries=12)
+        drive_zipfian(store, 150)  # forces several pressure flushes
+        assert store.tier_stats.flush_events > 0
+        assert store.dirty_entries > 0  # crash will land mid-window
+        return store
+
+    def test_wear_merge_matches_per_shard_sums_across_crash(self):
+        store = self._driven_sharded_tier()
+        try:
+            shards = store.store.stores
+            parts = [shard.nvm.stats for shard in shards]
+            merged_before = WearStats.merge(parts)
+            assert (
+                merged_before.total_bit_updates
+                == store.wear_stats().total_bit_updates
+                == sum(part.total_bit_updates for part in parts)
+            )
+            cells_before = merged_before.total_bit_updates
+            writes_before = merged_before.total_writes
+            store.crash()
+            store.recover()
+            # Recovery rebuilds DRAM only: the flushed cells are counted
+            # once, not re-programmed.
+            merged_after = store.wear_stats()
+            assert merged_after.total_bit_updates == cells_before
+            assert merged_after.total_writes == writes_before
+        finally:
+            store.close()
+
+    def test_store_metrics_merge_counts_flushed_ops_once(self):
+        store = self._driven_sharded_tier()
+        try:
+            flushed = store.tier_stats.flushed
+            write_through = store.tier_stats.write_through
+            parts = [shard.metrics for shard in store.store.stores]
+            merged = StoreMetrics.merge(parts)
+            # The NVM-side put count is exactly the flush+through
+            # traffic: absorbed (coalesced/dirty) ops never reached a
+            # shard, and nothing was counted twice.
+            assert merged.puts == store.metrics.puts
+            assert merged.puts == flushed + write_through
+            store.crash()
+            store.recover()
+            merged_recovered = StoreMetrics.merge(
+                [shard.metrics for shard in store.store.stores]
+            )
+            # Recovery retrains but must not replay operations.
+            assert merged_recovered.puts == merged.puts
+            assert merged_recovered.deletes == merged.deletes
+        finally:
+            store.close()

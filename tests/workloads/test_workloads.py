@@ -26,6 +26,7 @@ from repro.workloads import (
 ALL_NAMES = [
     "normal", "uniform", "amazon", "roadnet", "docwords",
     "mnist", "fashion", "cifar", "sherbrooke", "seq2",
+    "zipfian", "churn",
 ]
 
 
