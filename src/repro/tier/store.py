@@ -325,7 +325,20 @@ class TieredStore:
                 self._delete_one(key, run, flush_run, out)
             else:
                 self._write_one(kind, key, value, run, flush_run, out)
-            self._check_triggers()
+            try:
+                self._check_triggers()
+            except Exception as exc:
+                # A flush trigger fired mid-batch and failed.  The
+                # store-level reports on the exception describe the
+                # flush batch (staged entries, possibly from earlier
+                # calls) — keep them on ``flush_committed_reports`` and
+                # make ``committed_reports`` honour this call's
+                # partial-commit contract: the ops applied so far.
+                flushed = getattr(exc, "committed_reports", None)
+                if flushed is not None:
+                    exc.flush_committed_reports = list(flushed)
+                exc.committed_reports = list(out)
+                raise
         flush_run()
         return out
 
@@ -359,7 +372,12 @@ class TieredStore:
         if self.classifier is not None:
             self.classifier.record_write(key, padded, self._seq)
         if write_back:
-            flush_run()
+            if run:
+                # The pending pass-through run may hold an earlier op on
+                # this same key; drain it and recompute existence so
+                # is_create reflects the store state a flush will see.
+                flush_run()
+                exists = key in self.store
             buffer.stage(key, padded, is_create=not exists, seq=self._seq)
             out.append(OperationReport.make_buffered(kind, key))
         else:
@@ -540,7 +558,17 @@ class TieredStore:
         tier's buffers and classifier are shared state); the flushes
         they trigger still fan out across the store's shards, so the
         admission layer keeps its multi-lane surface and write-back
-        batching stays intact."""
+        batching stays intact.
+
+        Known tradeoff: the tier lock serializes the admission layer's
+        lanes here, so pure write-through / pass-through traffic no
+        longer runs concurrently across shards (only the fan-out inside
+        each store call remains — notable on the process executor).
+        Write-back traffic loses little: its cost is DRAM staging, and
+        the coalesced flushes still parallelize.  If write-through
+        ingest throughput becomes the bottleneck, per-shard tier locks
+        or routing pass-through runs around the tier are the follow-ups.
+        """
         results: dict[
             int, list[tuple[list[OperationReport] | None, BaseException | None]]
         ] = {}

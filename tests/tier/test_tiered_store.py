@@ -236,12 +236,57 @@ class TestErrorSemantics:
         finally:
             store.close()
 
+    def test_duplicate_key_in_one_predictive_batch_then_delete(self):
+        # Same key twice in one batch: the cold first op passes through,
+        # the rewrite goes write-back.  The staged entry must see the
+        # flushed first version (is_create=False) or a later DELETE
+        # cancels only the DRAM entry and resurrects the durable value.
+        store = warmed("single", tier_mode="predictive")
+        try:
+            reports = store.put_many([(b"dup", b"v1"), (b"dup", b"v2")])
+            assert not reports[0].buffered  # cold key passed through
+            assert reports[1].buffered  # recency rewrite absorbed
+            assert store.dirty_entries == 1
+            assert len(store) == len(store.store)  # no phantom create
+            assert store.get(b"dup") == b"v2".ljust(24, b"\x00")
+            report = store.delete(b"dup")
+            assert not report.buffered  # the durable version was deleted
+            assert b"dup" not in store
+            assert b"dup".ljust(8, b"\x00") not in store.store
+            with pytest.raises(KeyNotFoundError):
+                store.get(b"dup")
+        finally:
+            store.close()
+
     def test_delete_missing_key_raises(self):
         store = warmed("single")
         try:
             with pytest.raises(KeyNotFoundError, match="not found"):
                 store.delete(b"never")
         finally:
+            store.close()
+
+    def test_mid_batch_flush_failure_reports_applied_prefix(self):
+        # A flush trigger firing mid-batch must not swallow the reports
+        # of ops already applied in this call: committed_reports keeps
+        # the call's partial-commit contract, flush_committed_reports
+        # carries the store-level flush view.
+        store = warmed("single", tier_writeback_entries=4)
+        original = store.store.put_many
+        try:
+
+            def boom(batch):
+                raise RuntimeError("pool exhausted")
+
+            store.store.put_many = boom
+            with pytest.raises(RuntimeError, match="pool exhausted") as info:
+                store.put_many([(b"k%d" % i, b"v") for i in range(5)])
+            committed = info.value.committed_reports
+            assert len(committed) == 4  # the staged prefix of this call
+            assert all(report.buffered for report in committed)
+            assert store.dirty_entries == 4  # failed flush restaged all
+        finally:
+            store.store.put_many = original
             store.close()
 
     def test_oversized_value_rejected_before_any_mutation(self):
