@@ -17,7 +17,12 @@ Routes::
     GET    /stats                           -> 200 + JSON counters
 
 Missing keys map to 404, a full admission window (``shed`` policy) to
-429, an expired admission deadline to 503.
+429, an expired admission deadline to 503.  Media-fault outcomes map
+too: a store shedding writes in degraded mode answers 503 with a
+``Retry-After`` header (the condition can clear — deletes or scrubbing
+free healthy rows), and an unhideable media failure answers 507
+Insufficient Storage.  ``GET /stats`` includes the media/scrubber
+counters next to the ingest and tier blocks.
 
 Run a server:   python examples/serve_http.py --port 8080
 Run the demo:   python examples/serve_http.py --demo --clients 8
@@ -39,13 +44,20 @@ import numpy as np
 from repro import AsyncIngestQueue, PNWConfig, make_store
 from repro.errors import (
     DeadlineExceededError,
+    DegradedModeError,
     KeyNotFoundError,
+    MediaError,
     QueueFullError,
     ReproError,
 )
 
 REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
-           429: "Too Many Requests", 503: "Service Unavailable"}
+           429: "Too Many Requests", 503: "Service Unavailable",
+           507: "Insufficient Storage"}
+
+#: Retry-After (seconds) for degraded-mode 503s: deletes or a scrub
+#: pass can free healthy capacity, so clients should come back.
+DEGRADED_RETRY_AFTER = 2
 
 #: Largest request body the server will buffer; a declared
 #: Content-Length beyond this is rejected before any read.
@@ -105,10 +117,13 @@ class KVServer:
                     break
                 if request is None:
                     break
-                status, body = await self._route(*request)
+                status, body, headers = await self._route(*request)
+                extra = "".join(
+                    f"{name}: {value}\r\n" for name, value in headers.items()
+                )
                 writer.write(
                     f"HTTP/1.1 {status} {REASONS[status]}\r\n"
-                    f"Content-Length: {len(body)}\r\n"
+                    f"Content-Length: {len(body)}\r\n{extra}"
                     "Connection: keep-alive\r\n\r\n".encode() + body
                 )
                 await writer.drain()
@@ -150,14 +165,14 @@ class KVServer:
     async def _route(self, method: str, path: str, body: bytes):
         try:
             if path == "/stats" and method == "GET":
-                return 200, json.dumps(self._stats()).encode()
+                return 200, json.dumps(self._stats()).encode(), {}
             if not path.startswith("/kv/"):
-                return 400, b'{"error": "unknown route"}'
+                return 400, b'{"error": "unknown route"}', {}
             key = path[len("/kv/"):].encode()
             if method == "GET":
                 value = await self.queue.get(key)
                 self.served["get"] += 1
-                return 200, value
+                return 200, value, {}
             if method == "PUT":
                 report = await self.queue.put(key, body)
                 self.served["put"] += 1
@@ -168,29 +183,39 @@ class KVServer:
                 report = await self.queue.delete(key)
                 self.served["delete"] += 1
             else:
-                return 400, b'{"error": "unsupported method"}'
+                return 400, b'{"error": "unsupported method"}', {}
             return 200, json.dumps(
                 {"op": report.op, "address": report.address,
                  "cluster": report.cluster,
                  "bit_updates": report.bit_updates}
-            ).encode()
+            ).encode(), {}
         except KeyNotFoundError:
             self.served["errors"] += 1
-            return 404, b'{"error": "key not found"}'
+            return 404, b'{"error": "key not found"}', {}
         except QueueFullError:
             self.served["errors"] += 1
-            return 429, b'{"error": "admission window full"}'
+            return 429, b'{"error": "admission window full"}', {}
         except DeadlineExceededError:
             self.served["errors"] += 1
-            return 503, b'{"error": "admission deadline exceeded"}'
+            return 503, b'{"error": "admission deadline exceeded"}', {}
+        except DegradedModeError:
+            # Before MediaError: degraded mode is its subclass, and —
+            # unlike a raw media failure — it can clear, so tell the
+            # client when to come back.
+            self.served["errors"] += 1
+            return (503, b'{"error": "store degraded: writes shed"}',
+                    {"Retry-After": str(DEGRADED_RETRY_AFTER)})
+        except MediaError as exc:
+            self.served["errors"] += 1
+            return (507, json.dumps({"error": str(exc)}).encode(), {})
         except (ReproError, ValueError) as exc:
             self.served["errors"] += 1
-            return 400, json.dumps({"error": str(exc)}).encode()
+            return 400, json.dumps({"error": str(exc)}).encode(), {}
 
     def _stats(self) -> dict:
         """The /stats payload: request counters, the admission window's
-        live state, and (when a DRAM tier is configured) its hit/flush
-        accounting."""
+        live state, the media/scrubber health block, and (when a DRAM
+        tier is configured) its hit/flush accounting."""
         core = self.queue.queue
         store = core.store
         return {
@@ -198,16 +223,31 @@ class KVServer:
             "ingest": {
                 "ops_submitted": core.ops_submitted,
                 "ops_rejected": core.ops_rejected,
+                "ops_retried": core.ops_retried,
                 "pending_ops": core.pending_ops,
                 "max_pending": core.max_pending,
                 "batches_dispatched": core.batches_dispatched,
             },
+            "media": self._media_stats(store),
             "tier": (
                 store.tier_stats.as_dict()
                 if hasattr(store, "tier_stats")
                 else None
             ),
         }
+
+    @staticmethod
+    def _media_stats(store) -> dict | None:
+        """Media-health counters of whatever store backs the queue
+        (plain attribute, sharded/tiered merge method, or absent)."""
+        stats = getattr(store, "media_stats", None)
+        if stats is None:
+            return None
+        if callable(stats):
+            stats = stats()
+        block = stats.as_dict()
+        block["degraded"] = bool(getattr(store, "degraded", False))
+        return block
 
 
 # ---------------------------------------------------------------------- #

@@ -21,7 +21,10 @@ paper-vs-measured results of every table and figure.
 """
 
 from .core import (
+    BackgroundScrubber,
+    BadRowDirectory,
     DynamicAddressPool,
+    MediaScrubber,
     ModelManager,
     OperationReport,
     PNWConfig,
@@ -32,8 +35,10 @@ from .errors import (
     CapacityError,
     ConfigError,
     DeadlineExceededError,
+    DegradedModeError,
     DuplicateKeyError,
     KeyNotFoundError,
+    MediaError,
     NotFittedError,
     PoolExhaustedError,
     QueueClosedError,
@@ -44,7 +49,14 @@ from .errors import (
 from .engine import MutationEngine
 from .ingest import AsyncIngestQueue, IngestQueue
 from .ml import PCA, KMeans, MiniBatchKMeans, choose_k
-from .nvm import HybridMemory, LatencyModel, SimulatedNVM, WearStats
+from .nvm import (
+    FaultModel,
+    HybridMemory,
+    LatencyModel,
+    MediaStats,
+    SimulatedNVM,
+    WearStats,
+)
 from .shard import ShardedPNWStore, make_store
 from .tier import (
     BufferCache,
@@ -89,6 +101,11 @@ __all__ = [
     "HybridMemory",
     "LatencyModel",
     "WearStats",
+    "FaultModel",
+    "MediaStats",
+    "BadRowDirectory",
+    "MediaScrubber",
+    "BackgroundScrubber",
     "ConventionalWrite",
     "DataComparisonWrite",
     "FlipNWrite",
@@ -106,5 +123,7 @@ __all__ = [
     "QueueClosedError",
     "DeadlineExceededError",
     "WorkerCrashedError",
+    "MediaError",
+    "DegradedModeError",
     "__version__",
 ]

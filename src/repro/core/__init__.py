@@ -3,6 +3,7 @@
 from .address_pool import DynamicAddressPool
 from .config import PNWConfig
 from .featurizer import BitFeaturizer, ByteFeaturizer, Featurizer, make_featurizer
+from .media import BackgroundScrubber, BadRowDirectory, MediaScrubber
 from .model_manager import ModelManager
 from .store import OperationReport, PNWStore, StoreMetrics
 
@@ -13,6 +14,9 @@ __all__ = [
     "StoreMetrics",
     "DynamicAddressPool",
     "ModelManager",
+    "BadRowDirectory",
+    "MediaScrubber",
+    "BackgroundScrubber",
     "Featurizer",
     "BitFeaturizer",
     "ByteFeaturizer",

@@ -185,6 +185,7 @@ class DynamicAddressPool:
         self._lists = [_ClusterFreeList(row_bytes) for _ in range(n_clusters)]
         self._available = np.zeros(num_addresses, dtype=bool)
         self._cluster_of = np.full(num_addresses, -1, dtype=np.int64)
+        self._blocked = np.zeros(num_addresses, dtype=bool)
 
     # ------------------------------------------------------------------ #
 
@@ -224,6 +225,10 @@ class DynamicAddressPool:
             )
         if labels.size and not (0 <= labels.min() and labels.max() < self.n_clusters):
             raise ValueError("label out of cluster range")
+        if free_addresses.size and self._blocked.any():
+            keep = ~self._blocked[free_addresses]
+            free_addresses = free_addresses[keep]
+            labels = labels[keep]
         for free_list in self._lists:
             free_list.clear()
         self._available[:] = False
@@ -506,6 +511,8 @@ class DynamicAddressPool:
             raise ValueError(f"cluster {cluster} out of range")
         if self._available[address]:
             raise ValueError(f"address {address} is already in the pool")
+        if self._blocked[address]:
+            raise ValueError(f"address {address} is blocked (retired media row)")
         free_list = self._lists[cluster]
         row = free_list.append(int(address))
         if free_list.cache is not None:
@@ -515,6 +522,37 @@ class DynamicAddressPool:
             )
         self._available[address] = True
         self._cluster_of[address] = cluster
+
+    def block(self, address: int) -> None:
+        """Permanently remove ``address`` from circulation (media retirement).
+
+        If the address is currently free it is pulled out of its free
+        list; either way it can never be released back or handed out
+        again — :meth:`rebuild` filters it, :meth:`release` rejects it.
+        Blocking is per-pool-instance state: the store re-applies its
+        :class:`~repro.core.media.BadRowDirectory` after every pool
+        construction, which is what makes retirement survive retrain and
+        recovery.
+        """
+        if not 0 <= address < self.num_addresses:
+            raise ValueError(f"address {address} out of range")
+        self._blocked[address] = True
+        if not self._available[address]:
+            return
+        cluster = int(self._cluster_of[address])
+        free_list = self._lists[cluster]
+        window = free_list.window(free_list.size)
+        offsets = np.flatnonzero(window == address)
+        if offsets.size:
+            self._pop_at(free_list, int(offsets[0]))
+
+    def block_many(self, addresses: np.ndarray | Sequence[int]) -> None:
+        """Bulk :meth:`block` (re-applying a retirement directory)."""
+        for address in np.asarray(addresses, dtype=np.int64):
+            self.block(int(address))
+
+    def is_blocked(self, address: int) -> bool:
+        return bool(self._blocked[address])
 
     # ------------------------------------------------------------------ #
 

@@ -113,6 +113,32 @@ class PNWConfig:
     tier_flush_ops:
         Interval flush trigger: a dirty entry older than this many tier
         mutations is flushed even if no size/pressure trigger fired.
+    media_fault_rate:
+        Fraction of the zone's data-cell *bits* that are wear-weakened
+        (``0.0`` — the default — disables the media fault model
+        entirely; the store is byte-identical to one without it).  Each
+        weakened cell draws an endurance budget of remaining successful
+        flips from the seeded :class:`~repro.nvm.faults.FaultModel`; a
+        flip attempted past the budget fails and the cell becomes
+        stuck-at its current value.  Requires ``seed`` so the faulty
+        cell set is deterministic (and reproducible by a respawned
+        process worker).
+    media_fault_budget:
+        Upper bound of the per-cell endurance budget draw
+        (``rng.integers(0, budget + 1)``).  ``0`` means every weakened
+        cell starts depleted — the first flip attempt sticks it — which
+        is the acceptance-test configuration.
+    media_verify:
+        Read-back-verify every commit-stage write and relocate ops that
+        landed on stuck bits (retiring the faulty row).  On by default;
+        turn off only for ablation benchmarks that want to *measure*
+        silent corruption.
+    media_retire_watermark:
+        Fraction of ``num_buckets`` whose retirement flips the store
+        into degraded mode: further ``put``/``update`` batches are shed
+        with :class:`~repro.errors.DegradedModeError` (reads and
+        deletes still served) so a worn zone fails loudly instead of
+        thrashing the last few healthy rows.
     """
 
     num_buckets: int
@@ -143,6 +169,10 @@ class PNWConfig:
     tier_cache_entries: int = 1024
     tier_writeback_entries: int = 256
     tier_flush_ops: int = 1024
+    media_fault_rate: float = 0.0
+    media_fault_budget: int = 0
+    media_verify: bool = True
+    media_retire_watermark: float = 0.05
 
     def __post_init__(self) -> None:
         if self.num_buckets <= 0:
@@ -209,6 +239,25 @@ class PNWConfig:
             raise ConfigError(
                 f"tier_flush_ops must be >= 1, got {self.tier_flush_ops}"
             )
+        if not 0.0 <= self.media_fault_rate < 1.0:
+            raise ConfigError(
+                f"media_fault_rate must be in [0, 1), got {self.media_fault_rate}"
+            )
+        if self.media_fault_budget < 0:
+            raise ConfigError(
+                f"media_fault_budget must be >= 0, got {self.media_fault_budget}"
+            )
+        if not 0.0 < self.media_retire_watermark <= 1.0:
+            raise ConfigError(
+                f"media_retire_watermark must be in (0, 1], "
+                f"got {self.media_retire_watermark}"
+            )
+        if self.media_fault_rate > 0.0 and self.seed is None:
+            raise ConfigError(
+                "media_fault_rate > 0 requires a seed: the faulty-cell map "
+                "must be deterministic so recovery and respawned process "
+                "workers rebuild the same media"
+            )
         if self.bucket_bytes % self.word_bytes != 0:
             raise ConfigError(
                 f"bucket size {self.bucket_bytes} (key_bytes + value_bytes) must "
@@ -219,6 +268,11 @@ class PNWConfig:
     def bucket_bytes(self) -> int:
         """Bytes per data-zone bucket: the stored K/V pair."""
         return self.key_bytes + self.value_bytes
+
+    @property
+    def media_enabled(self) -> bool:
+        """Whether the wear-out fault model is active for this store."""
+        return self.media_fault_rate > 0.0
 
     @property
     def resolved_featurizer(self) -> str:

@@ -33,14 +33,17 @@ from typing import Iterable
 import numpy as np
 
 from ..engine.pipeline import MutationEngine
-from ..errors import ReproError
+from ..errors import DegradedModeError, MediaError, PoolExhaustedError, ReproError
 from ..index.base import KeyIndex
 from ..index.dram_hash import DRAMHashIndex
 from ..index.path_hashing import PathHashingIndex
 from ..nvm.device import SimulatedNVM
+from ..nvm.faults import FaultModel
 from ..nvm.hybrid import HybridMemory
+from ..nvm.stats import MediaStats
 from .address_pool import DynamicAddressPool
 from .config import PNWConfig
+from .media import BadRowDirectory, MediaScrubber
 from .model_manager import ModelManager
 from .reports import OperationReport, StoreMetrics
 
@@ -63,6 +66,33 @@ class PNWStore:
     def __init__(self, config: PNWConfig, *, zone=None) -> None:
         self.config = config
         self.zone = zone
+        # Media fault machinery first: the fault model plugs into the
+        # device, and the retirement directory must exist before the
+        # first pool build so re-attached retirements are re-blocked.
+        faults = None
+        if config.media_enabled:
+            stuck = (
+                zone.view("stuck")
+                if zone is not None and zone.has_region("stuck")
+                else None
+            )
+            faults = FaultModel(
+                config.num_buckets,
+                config.bucket_bytes,
+                fault_rate=config.media_fault_rate,
+                fault_budget=config.media_fault_budget,
+                seed=config.seed,
+                stuck=stuck,
+            )
+        self.bad_rows = BadRowDirectory(
+            config.num_buckets,
+            bitmap=zone.view("retired") if zone is not None else None,
+        )
+        self.media_stats = MediaStats()
+        self.scrubber = MediaScrubber(config.num_buckets) if config.media_enabled else None
+        self._retire_limit = max(
+            1, int(np.ceil(config.media_retire_watermark * config.num_buckets))
+        )
         self.memory = HybridMemory(
             config.num_buckets,
             config.bucket_bytes,
@@ -71,6 +101,7 @@ class PNWStore:
             track_bit_wear=config.track_bit_wear,
             nvm_data=zone.view("data") if zone is not None else None,
             nvm_stats=zone.data_stats() if zone is not None else None,
+            nvm_faults=faults,
         )
         # Validity bitmap: one bit per bucket, packed into 4-byte NVM words
         # in its own region so data-zone wear numbers stay pure.  With
@@ -127,12 +158,19 @@ class PNWStore:
         free addresses' contents in DRAM (filled through the device's
         unaccounted ``gather_into`` path) so Hamming probes score
         contiguous cache rows instead of gathering buckets per pop."""
-        return DynamicAddressPool(
+        pool = DynamicAddressPool(
             n_clusters,
             self.config.num_buckets,
             content_reader=self.nvm.gather_into,
             row_bytes=self.config.bucket_bytes,
         )
+        # Re-condemn retired rows on every pool construction (__init__,
+        # retrain, crash, recover): retirement is durable media state,
+        # pool blocking is its per-instance projection.
+        retired = self.bad_rows.retired_addresses()
+        if retired.size:
+            pool.block_many(retired)
+        return pool
 
     def _normalize(self, key: bytes) -> bytes:
         return KeyIndex.normalize_key(key, self.config.key_bytes)
@@ -376,13 +414,21 @@ class PNWStore:
     # ------------------------------------------------------------------ #
 
     def crash(self) -> None:
-        """Drop every DRAM structure, simulating a power failure."""
+        """Drop every DRAM structure, simulating a power failure.
+
+        The media layer splits across the line: scrub checksums and the
+        patrol cursor are DRAM (they reset), while the retirement bitmap
+        and the fault model's stuck cells are media facts that survive —
+        on a shared zone they literally live in the segment.
+        """
         self.manager = ModelManager(self.config)
         self.pool = self._new_pool(1)
         self.pool.rebuild(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
         if self.config.index_placement == "dram":
             self.index = self._build_index()
         self._live_count = 0
+        if self.scrubber is not None:
+            self.scrubber.reset()
 
     def recover(self) -> None:
         """Rebuild all DRAM state from NVM (§V-A1: the model "can be
@@ -418,6 +464,148 @@ class PNWStore:
         self.pool = self._new_pool(self.manager.model.n_clusters)
         if free.size:
             self.pool.rebuild(self.manager.labels_for(contents[free]), free)
+        if self.scrubber is not None:
+            # Checksums died with DRAM; re-trust the media for live rows
+            # (every one of them passed write-verify before the crash).
+            self.scrubber.rebuild(self.nvm, live)
+
+    # ------------------------------------------------------------------ #
+    # media health (write-verify support, retirement, patrol scrubbing)   #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def degraded(self) -> bool:
+        """True once media retirement crossed the capacity watermark.
+
+        A degraded store sheds ``put``/``update`` batches with
+        :class:`~repro.errors.DegradedModeError` (reads and deletes are
+        still served) so a worn-out zone fails loudly instead of
+        thrashing its last healthy rows.
+        """
+        return self.config.media_enabled and self.bad_rows.count >= self._retire_limit
+
+    def _retire_address(self, address: int) -> None:
+        """Condemn a row: record it, block it in the pool, and drop its
+        patrol checksum.  Idempotent."""
+        if self.bad_rows.retire(address):
+            self.media_stats.rows_retired += 1
+        self.pool.block(address)
+        if self.scrubber is not None:
+            self.scrubber.forget(address)
+
+    def _media_place(
+        self,
+        payload: np.ndarray,
+        cluster: int | None = None,
+        order: np.ndarray | None = None,
+    ) -> tuple[int, object]:
+        """Write ``payload`` to a *verified* fresh address.
+
+        Pops best-match candidates through the ordinary Hamming probe
+        path (§IV) and read-back-verifies each landing; candidates whose
+        rows turn out stuck are retired and the probe continues.  Raises
+        :class:`~repro.errors.PoolExhaustedError` when no healthy row is
+        left.  Returns ``(address, write_report)``.
+        """
+        if cluster is None:
+            if self.manager.is_trained:
+                cluster = int(self.manager.predict(payload))
+                order = self.manager.fallback_order(payload)
+            else:
+                cluster, order = 0, None
+        while True:
+            address = self.pool.get_best(
+                cluster, payload, self.config.probe_limit, order
+            )
+            report = self.nvm.write(address, payload)
+            if np.array_equal(self.nvm.peek(address), payload):
+                return address, report
+            self.media_stats.verify_failures += 1
+            self._retire_address(address)
+
+    def _relocate_live_row(self, address: int, row: np.ndarray) -> int:
+        """Move an occupied row off failing media (scrub path).
+
+        Ordering is crash-safe: the copy is written and flagged valid
+        before the index repoints and the old flag clears, so a crash
+        mid-move leaves at least one valid, correct copy (recovery's
+        index rebuild picks one; the loser is merely leaked until the
+        next full rebuild).
+        """
+        key = row[: self.config.key_bytes].tobytes()
+        new_address, _report = self._media_place(row)
+        self._set_valid(new_address, True)
+        self.index.put(key, new_address)
+        self._set_valid(address, False)
+        self._retire_address(address)
+        if self.scrubber is not None:
+            self.scrubber.note(new_address, row)
+        self.media_stats.relocations += 1
+        return new_address
+
+    def scrub(self, limit: int | None = None) -> dict[str, int]:
+        """One patrol pass: read up to ``limit`` occupied rows (all, when
+        ``None``), compare each against its stored checksum, and
+        proactively relocate rows sitting on latent stuck cells.
+
+        Raises :class:`~repro.errors.MediaError` if any row contradicts
+        its checksum (acknowledged-data corruption — write-verify is
+        designed to make this impossible), and
+        :class:`~repro.errors.DegradedModeError` if this pass's
+        retirements pushed the store over the capacity watermark.  A
+        relocation that finds the pool exhausted is *deferred* — the row
+        stays where it is, still readable — and reported in the summary.
+        """
+        if self.scrubber is None:
+            return {"scanned": 0, "relocated": 0, "deferred": 0, "mismatches": 0}
+        n = self.config.num_buckets
+        budget = n if limit is None else max(0, min(int(limit), n))
+        was_degraded = self.degraded
+        scanned = relocated = deferred = 0
+        mismatches: list[int] = []
+        cursor = self.scrubber.cursor
+        for step in range(n):
+            if scanned >= budget:
+                break
+            address = (cursor + step) % n
+            self.scrubber.cursor = (address + 1) % n
+            if not self._is_valid(address):
+                continue
+            scanned += 1
+            row = self.nvm.read(address)  # accounted patrol read
+            if not self.scrubber.check(address, row):
+                self.media_stats.checksum_mismatches += 1
+                mismatches.append(address)
+                continue
+            if self.nvm.media_probe(address) > 0:
+                self.media_stats.latent_faults_found += 1
+                try:
+                    self._relocate_live_row(address, row)
+                    relocated += 1
+                except PoolExhaustedError:
+                    deferred += 1
+        self.media_stats.rows_scrubbed += scanned
+        self.media_stats.scrub_passes += 1
+        if mismatches:
+            raise MediaError(
+                f"scrub found {len(mismatches)} row(s) contradicting their "
+                f"checksums (addresses {mismatches[:8]}): acknowledged data "
+                "was corrupted in place"
+            )
+        if not was_degraded and self.degraded:
+            exc = DegradedModeError(
+                f"scrub retirements crossed the capacity watermark: "
+                f"{self.bad_rows.count}/{self.config.num_buckets} rows retired "
+                f"(limit {self._retire_limit}); store is shedding writes"
+            )
+            exc.committed_reports = []
+            raise exc
+        return {
+            "scanned": scanned,
+            "relocated": relocated,
+            "deferred": deferred,
+            "mismatches": 0,
+        }
 
     # ------------------------------------------------------------------ #
     # introspection                                                       #

@@ -10,6 +10,20 @@ Mid-chunk :class:`PoolExhaustedError` handling lives here too: the
 already-placed prefix is committed (the state a sequential loop leaves
 behind when it dies on that PUT) and the escaping exception is stamped
 with the prefix's reports before it reaches the pipeline driver.
+
+**Write-verify.**  On a media-enabled store
+(:attr:`PNWConfig.media_enabled` + ``media_verify``) every chunk's
+device writes are read back and compared before any flag or index entry
+is set: an op whose row came back wrong (stuck cells) is *relocated* —
+its faulty row retired, a fresh candidate popped through the same
+Hamming probe path, re-written, re-verified — so nothing is ever
+acknowledged unless its bytes are actually on the media.  A relocation
+that exhausts the pool finalizes the verified prefix and escapes as an
+ordinary mid-chunk :class:`PoolExhaustedError` (the unverified tail's
+rows are released back to the pool, unflagged and unindexed — the same
+unapplied suffix a sequential loop leaves).  With the fault model
+disabled, none of this code runs and the commit stage is byte-identical
+to the pre-media implementation.
 """
 
 from __future__ import annotations
@@ -35,6 +49,7 @@ __all__ = [
     "commit_endurance_updates",
     "commit_latency_updates",
     "replay_update_deletes",
+    "verify_latency_update",
 ]
 
 
@@ -49,38 +64,131 @@ class PutCommit:
     retrained: list[bool]
 
 
+def _verify_chunk(
+    engine: "MutationEngine",
+    payloads: np.ndarray,
+    addresses: np.ndarray,
+    write_reports: list,
+    clusters: np.ndarray | None,
+    orders,
+) -> tuple[int, PoolExhaustedError | None]:
+    """Read back every just-written row and relocate the ones that
+    landed on stuck cells (mutating ``addresses`` / ``write_reports`` in
+    place).
+
+    Returns ``(good, exc)``: with healthy media or successful
+    relocations ``good == len(addresses)`` and ``exc is None``.  When a
+    relocation exhausts the pool at op ``i``, ops ``[0, i)`` are
+    verified, the tail's already-written rows are released back into the
+    pool (they were never flagged or indexed — the unapplied suffix of a
+    sequential loop), and the caller finalizes only the prefix.
+    """
+    store = engine.store
+    m = len(addresses)
+    readback = store.nvm.peek_many(addresses)
+    bad = np.flatnonzero((readback != payloads[:m]).any(axis=1))
+    for i in bad:
+        i = int(i)
+        store.media_stats.verify_failures += 1
+        store._retire_address(int(addresses[i]))
+        cluster = int(clusters[i]) if clusters is not None else None
+        order = orders[i] if (cluster is not None and orders is not None) else None
+        try:
+            new_address, report = store._media_place(payloads[i], cluster, order)
+        except PoolExhaustedError as exc:
+            for j in range(i + 1, m):
+                release_cluster = int(clusters[j]) if clusters is not None else 0
+                if release_cluster >= store.pool.n_clusters:
+                    release_cluster = 0
+                store.pool.release(int(addresses[j]), release_cluster)
+            return i, exc
+        addresses[i] = new_address
+        write_reports[i] = report
+        store.media_stats.relocations += 1
+    return m, None
+
+
 def _flush_puts(
     engine: "MutationEngine",
     keys: list[bytes],
     payloads: np.ndarray,
     addresses: np.ndarray,
     fallbacks: np.ndarray,
+    clusters: np.ndarray | None = None,
+    orders=None,
 ) -> PutCommit:
-    """Flush a chunk of placed PUTs: multi-row write, coalesced flag
-    bits, then per-op index inserts and retrain checks, in order.
+    """Flush a chunk of placed PUTs: multi-row write, write-verify (on
+    media-enabled stores), coalesced flag bits, then per-op index
+    inserts and retrain checks, in order.
 
     Deferring the data writes to one multi-row commit is safe because
     chunk writes only land on just-popped addresses, which are no longer
     candidates for later pops — so every Hamming probe sees exactly the
     bytes the sequential loop would have seen.
+
+    ``clusters`` / ``orders`` are the chunk's steering outputs, consumed
+    only by the verify/relocate path.  On relocation pool-exhaustion the
+    verified prefix is finalized and the escaping
+    :class:`PoolExhaustedError` carries it as ``flushed_commit`` for the
+    caller's accounting.
     """
     store = engine.store
     m = len(keys)
     store.metrics.fallbacks += int(np.count_nonzero(fallbacks[:m]))
-    write_reports = store.nvm.write_many(addresses[:m], payloads[:m])
-    if m:
-        store._set_valid_many(addresses[:m], True)
+    addresses = addresses[:m]
+    fallbacks = fallbacks[:m]
+    write_reports = store.nvm.write_many(addresses, payloads[:m])
+    good, pool_exc = m, None
+    if m and store.config.media_enabled and store.config.media_verify:
+        addresses = addresses.copy()
+        good, pool_exc = _verify_chunk(
+            engine, payloads, addresses, write_reports, clusters, orders
+        )
+    if good:
+        store._set_valid_many(addresses[:good], True)
+        if store.scrubber is not None:
+            store.scrubber.note_many(addresses[:good], payloads[:good])
     index_lines: list[int] = []
     retrained: list[bool] = []
-    for i in range(m):
+    for i in range(good):
         lines_before = store._index_lines_snapshot()
         store.index.put(keys[i], int(addresses[i]))
         index_lines.append(store._index_lines_snapshot() - lines_before)
         store._live_count += 1
         store.metrics.puts += 1
         retrained.append(store._maybe_retrain())
-    return PutCommit(addresses[:m], fallbacks[:m], write_reports,
-                     index_lines, retrained)
+    committed = PutCommit(addresses[:good], fallbacks[:good], write_reports[:good],
+                          index_lines, retrained)
+    if pool_exc is not None:
+        pool_exc.flushed_commit = committed
+        raise pool_exc
+    return committed
+
+
+def _flush_puts_accounted(
+    engine: "MutationEngine",
+    keys: list[bytes],
+    payloads: np.ndarray,
+    addresses: np.ndarray,
+    fallbacks: np.ndarray,
+    steering: PutSteering,
+) -> PutCommit:
+    """:func:`_flush_puts` with steering wired through, stamping
+    ``chunk_reports`` for the verified prefix if a mid-verify relocation
+    exhausts the pool."""
+    try:
+        return _flush_puts(engine, keys, payloads, addresses, fallbacks,
+                           steering.clusters, steering.orders)
+    except PoolExhaustedError as exc:
+        flushed = exc.__dict__.pop("flushed_commit", None)
+        if flushed is None:
+            raise
+        good = len(flushed.write_reports)
+        exc.chunk_reports = account.account_puts(
+            engine, keys[:good], steering.clusters, steering.predict_ns,
+            flushed,
+        )
+        raise
 
 
 def commit_puts(
@@ -106,9 +214,9 @@ def commit_puts(
     except PoolExhaustedError as exc:
         done = int(exc.partial_addresses.size)
         if done:
-            committed = _flush_puts(
+            committed = _flush_puts_accounted(
                 engine, keys[:done], payloads, exc.partial_addresses,
-                exc.partial_fallbacks,
+                exc.partial_fallbacks, steering,
             )
             exc.chunk_reports = account.account_puts(
                 engine, keys[:done], steering.clusters,
@@ -117,7 +225,8 @@ def commit_puts(
         else:
             exc.chunk_reports = []
         raise
-    return _flush_puts(engine, keys, payloads, addresses, fallbacks)
+    return _flush_puts_accounted(engine, keys, payloads, addresses,
+                                 fallbacks, steering)
 
 
 # ---------------------------------------------------------------------- #
@@ -258,9 +367,16 @@ def commit_endurance_updates(
         delete_reports = replay_update_deletes(
             engine, keys, steering.releases, applied, steering.predict_ns
         )
-        put_commit = _flush_puts(
-            engine, keys[:committed], payloads, new_addresses, fallbacks
-        )
+        try:
+            put_commit = _flush_puts(
+                engine, keys[:committed], payloads, new_addresses, fallbacks,
+                steering.put_clusters, steering.orders,
+            )
+        except PoolExhaustedError as exc2:
+            _account_update_flush_failure(
+                engine, exc2, keys, steering, delete_reports
+            )
+            raise exc2 from None
         exc.chunk_reports = account.account_endurance_updates(
             engine, keys, steering, put_commit, delete_reports, committed
         )
@@ -268,17 +384,102 @@ def commit_endurance_updates(
     delete_reports = replay_update_deletes(
         engine, keys, steering.releases, m, steering.predict_ns
     )
-    put_commit = _flush_puts(engine, keys, payloads, new_addresses, fallbacks)
+    try:
+        put_commit = _flush_puts(engine, keys, payloads, new_addresses,
+                                 fallbacks, steering.put_clusters,
+                                 steering.orders)
+    except PoolExhaustedError as exc:
+        _account_update_flush_failure(engine, exc, keys, steering,
+                                      delete_reports)
+        raise
     return put_commit, delete_reports, m
+
+
+def _account_update_flush_failure(
+    engine: "MutationEngine",
+    exc: PoolExhaustedError,
+    keys: list[bytes],
+    steering: UpdateSteering,
+    delete_reports: list[OperationReport],
+) -> None:
+    """Stamp ``chunk_reports`` on a verify-relocation pool-exhaustion
+    that fired inside an endurance-update flush.
+
+    The verified put prefix is accounted as usual; delete halves past
+    the prefix *did* land (their keys are gone, their rows unflagged,
+    their put rows released back to the pool), so their reports are
+    recorded in the metrics just like the single trailing delete the
+    account stage already handles."""
+    flushed = exc.__dict__.pop("flushed_commit", None)
+    if flushed is None:
+        raise exc
+    good = len(flushed.write_reports)
+    exc.chunk_reports = account.account_endurance_updates(
+        engine, keys, steering, flushed, delete_reports, good
+    )
+    for report in delete_reports[good + 1:]:
+        engine.store.metrics.record(report)
+
+
+def verify_latency_update(
+    engine: "MutationEngine",
+    key: bytes,
+    address: int,
+    payload: np.ndarray,
+    write_report,
+):
+    """Read-back verify of one in-place (latency-mode) update.
+
+    Latency mode rewrites the key's existing row, so there is no popped
+    address to fall back to: on stuck cells the key is *moved* — fresh
+    verified row via the media-placement probe, index repointed, old row
+    unflagged and retired.  Returns the (possibly new)
+    ``(address, write_report)``; raises :class:`PoolExhaustedError` when
+    no healthy row is available for the move.
+    """
+    store = engine.store
+    if np.array_equal(store.nvm.peek(address), payload):
+        if store.scrubber is not None:
+            store.scrubber.note(address, payload)
+        return address, write_report
+    store.media_stats.verify_failures += 1
+    new_address, report = store._media_place(payload)
+    store._set_valid(new_address, True)
+    store.index.put(key, new_address)
+    store._set_valid(address, False)
+    store._retire_address(address)
+    if store.scrubber is not None:
+        store.scrubber.note(new_address, payload)
+    store.media_stats.relocations += 1
+    return new_address, report
 
 
 def commit_latency_updates(
     engine: "MutationEngine", keys: list[bytes], payloads: np.ndarray
 ) -> tuple[np.ndarray, list]:
-    """In-place batch update: one multi-row write, no steering."""
+    """In-place batch update: one multi-row write, no steering.
+
+    On media-enabled stores every row is read back; an op that landed on
+    stuck cells is moved to a healthy row (see
+    :func:`verify_latency_update`).  A move that exhausts the pool
+    escapes with the verified prefix's reports as ``chunk_reports`` —
+    unverified ops past it are not acknowledged.
+    """
     store = engine.store
     store.metrics.updates += len(keys)
     addresses = np.array([store.index.get(key) for key in keys],
                          dtype=np.int64)
     write_reports = store.nvm.write_many(addresses, payloads)
+    if store.config.media_enabled and store.config.media_verify:
+        for i, key in enumerate(keys):
+            try:
+                addresses[i], write_reports[i] = verify_latency_update(
+                    engine, key, int(addresses[i]), payloads[i],
+                    write_reports[i],
+                )
+            except PoolExhaustedError as exc:
+                exc.chunk_reports = account.account_latency_updates(
+                    engine, keys[:i], addresses[:i], write_reports[:i]
+                )
+                raise
     return addresses, write_reports

@@ -33,7 +33,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 import numpy as np
 
 from ..core.reports import OperationReport
-from ..errors import KeyNotFoundError, PoolExhaustedError
+from ..errors import DegradedModeError, KeyNotFoundError, PoolExhaustedError
 from . import account, commit, plan, steer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -201,7 +201,7 @@ class MutationEngine:
         try:
             for chunk in chunks:
                 reports.extend(chunk.execute(self))
-        except (PoolExhaustedError, KeyNotFoundError) as exc:
+        except (PoolExhaustedError, KeyNotFoundError, DegradedModeError) as exc:
             exc.committed_reports = list(reports) + list(
                 exc.__dict__.pop("chunk_reports", [])
             )
@@ -210,6 +210,26 @@ class MutationEngine:
 
     def _normalize(self, key: bytes) -> bytes:
         return self.store._normalize(key)
+
+    def _shed_if_degraded(self, count: int) -> None:
+        """Degraded-mode write shedding: a store past the media
+        retirement watermark refuses new writes outright (reads and
+        deletes still run — they free capacity rather than consume it).
+        The error carries empty ``committed_reports``: nothing in the
+        shed batch touched the store, so the whole batch is safe to
+        retry elsewhere or after scrubbing/deletes recover headroom."""
+        store = self.store
+        if store.config.media_enabled and store.degraded:
+            store.media_stats.writes_shed += count
+            exc = DegradedModeError(
+                f"write shed: {store.bad_rows.count} rows retired, at or "
+                f"past the watermark of {store._retire_limit} "
+                f"(media_retire_watermark="
+                f"{store.config.media_retire_watermark} over "
+                f"{store.config.num_buckets} buckets)"
+            )
+            exc.committed_reports = []
+            raise exc
 
     # ------------------------------------------------------------------ #
     # entry points (one stage configuration per operation)                #
@@ -224,6 +244,7 @@ class MutationEngine:
         """Batched PUT: vectorized Algorithm 2 over many K/V pairs."""
         items = [(self._normalize(key), value) for key, value in pairs]
         plan.validate_values(self.store.config, [value for _, value in items])
+        self._shed_if_degraded(len(items))
         if unique:
             plan.check_unique(
                 (key for key, _ in items),
@@ -237,6 +258,7 @@ class MutationEngine:
         """Batched UPDATE, state-identical to per-pair updates."""
         items = [(self._normalize(key), value) for key, value in pairs]
         plan.validate_values(self.store.config, [value for _, value in items])
+        self._shed_if_degraded(len(items))
         return self._drive(plan.plan_updates(self, items))
 
     def delete_many(self, keys: Iterable[bytes]) -> list[OperationReport]:
@@ -252,6 +274,7 @@ class MutationEngine:
         and batched updates share every stage implementation.
         """
         store = self.store
+        self._shed_if_degraded(1)
         if key not in store.index:
             raise KeyNotFoundError(f"key {key!r} not found")
         store.metrics.updates += 1
@@ -262,6 +285,14 @@ class MutationEngine:
         address = store.index.get(key)
         payload = plan.encode_pairs(store.config, [key], [value])[0]
         report = store.nvm.write(address, payload)
+        if store.config.media_enabled and store.config.media_verify:
+            try:
+                address, report = commit.verify_latency_update(
+                    self, key, int(address), payload, report
+                )
+            except PoolExhaustedError as exc:
+                exc.committed_reports = []
+                raise
         op = OperationReport(
             op="update",
             key=key,

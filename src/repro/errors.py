@@ -19,6 +19,8 @@ __all__ = [
     "QueueClosedError",
     "DeadlineExceededError",
     "WorkerCrashedError",
+    "MediaError",
+    "DegradedModeError",
 ]
 
 
@@ -42,7 +44,25 @@ class DuplicateKeyError(ReproError):
 
 
 class PoolExhaustedError(CapacityError):
-    """The dynamic address pool has no free address left in any cluster."""
+    """The dynamic address pool has no free address left in any cluster.
+
+    Raised mid-batch by the mutation engine once the zone (minus any
+    rows retired by the media layer) cannot place the next value.  Like
+    every retryable engine error it carries a ``committed_reports``
+    attribute: the :class:`~repro.core.reports.OperationReport` list for
+    the input-order prefix of the batch that *was* durably applied
+    before the pool ran dry.  Callers resume by replaying only the ops
+    after ``len(exc.committed_reports)`` — after freeing space
+    (deletes), growing capacity, or scrubbing/retraining — instead of
+    re-applying the whole batch.
+
+    The same partial-commit contract is shared by
+    :class:`KeyNotFoundError` (batched update/delete stops at the first
+    missing key), :class:`DegradedModeError` (writes shed before any op
+    is applied, so ``committed_reports`` is empty), and — without the
+    attribute, because the in-flight reports died with the worker —
+    :class:`WorkerCrashedError`, whose unflagged sub-batch is simply
+    retried whole."""
 
 
 class NotFittedError(ReproError):
@@ -77,4 +97,28 @@ class WorkerCrashedError(ReproError):
     respawned over the surviving shared zone and the standard recovery
     path has run, so the caller may simply retry: the zone is servable
     again, with only the dead worker's unflagged (in-flight) operations
-    lost — exactly the torn-shard crash semantics of a power failure."""
+    lost — exactly the torn-shard crash semantics of a power failure.
+    :class:`repro.ingest.IngestQueue` performs that retry itself
+    (bounded attempts with jittered backoff) before surfacing the error
+    to producers."""
+
+
+class MediaError(ReproError):
+    """The simulated NVM media failed in a way the store cannot hide.
+
+    Raised by the scrubber when a patrol read finds an occupied row
+    whose bytes no longer match its stored checksum — i.e. acknowledged
+    data was corrupted in place, which the write-verify path is designed
+    to make impossible.  Treat it as a data-integrity alarm, not a
+    retryable condition."""
+
+
+class DegradedModeError(MediaError):
+    """The store is shedding writes because media retirement crossed the
+    capacity watermark (``media_retire_watermark``).
+
+    Carries ``committed_reports = []``: degraded sheds happen before any
+    op of the batch is applied, so the whole batch is retryable once
+    capacity returns (deletes still execute and free rows).  See
+    :class:`PoolExhaustedError` for the shared partial-commit retry
+    contract."""

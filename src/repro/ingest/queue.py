@@ -79,6 +79,7 @@ window are woken with :class:`~repro.errors.QueueClosedError`.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from concurrent.futures import Future, InvalidStateError
@@ -87,7 +88,12 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..core.reports import OperationReport
-from ..errors import DeadlineExceededError, QueueClosedError, QueueFullError
+from ..errors import (
+    DeadlineExceededError,
+    QueueClosedError,
+    QueueFullError,
+    WorkerCrashedError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.store import PNWStore
@@ -272,6 +278,9 @@ class IngestQueue:
         self._drain_lock = threading.Lock()
         self.batches_dispatched = 0
         self.ops_rejected = 0
+        #: Ops re-submitted after their run died to a worker-process
+        #: crash (each op counts once per retry attempt).
+        self.ops_retried = 0
         #: Guards ops_rejected: shed/deadline producers and _expire
         #: (under the drain lock) all bump it concurrently.
         self._rejected_lock = threading.Lock()
@@ -614,18 +623,52 @@ class IngestQueue:
             # Ordinary failures live on the futures; swallowing here
             # keeps the flusher thread alive and close() non-raising.
 
+    #: Retry policy for runs lost to a worker-process crash: how many
+    #: re-submissions before the error reaches the futures, and the
+    #: backoff base (seconds; doubled per attempt, jittered ±50%).
+    worker_retry_limit = 3
+    worker_retry_backoff = 0.01
+
     def _dispatch_inner(self, batches: dict[int, list[_Run]]) -> None:
         if self._sharded:
-            results = self.store.run_shard_batches(
-                {
-                    shard_id: [(run.kind, run.items) for run in runs]
-                    for shard_id, runs in batches.items()
-                }
-            )
-            for shard_id, outcomes in results.items():
-                for run, (reports, error) in zip(batches[shard_id], outcomes):
-                    self._resolve(run, reports, error)
-                self.batches_dispatched += len(outcomes)
+            pending = {shard_id: list(runs) for shard_id, runs in batches.items()}
+            for attempt in range(self.worker_retry_limit + 1):
+                results = self.store.run_shard_batches(
+                    {
+                        shard_id: [(run.kind, run.items) for run in runs]
+                        for shard_id, runs in pending.items()
+                    }
+                )
+                retry: dict[int, list[_Run]] = {}
+                for shard_id, outcomes in results.items():
+                    for run, (reports, error) in zip(pending[shard_id], outcomes):
+                        if (
+                            isinstance(error, WorkerCrashedError)
+                            and attempt < self.worker_retry_limit
+                        ):
+                            # The shard worker died mid-run; its zone has
+                            # already been recovered, so the run is safe
+                            # to re-submit whole (puts/updates are
+                            # idempotent upserts; a delete that half
+                            # landed re-raises the standard missing-key
+                            # outcome).  Bounded + jittered so a
+                            # crash-looping worker fails loudly instead
+                            # of hammering the respawn path in lockstep.
+                            retry.setdefault(shard_id, []).append(run)
+                        else:
+                            self._resolve(run, reports, error)
+                            self.batches_dispatched += 1
+                if not retry:
+                    return
+                self.ops_retried += sum(
+                    len(run.items) for runs in retry.values() for run in runs
+                )
+                time.sleep(
+                    self.worker_retry_backoff
+                    * (2 ** attempt)
+                    * (0.5 + random.random())
+                )
+                pending = retry
             return
         ops = {
             "put": self.store.put_many,

@@ -1,20 +1,23 @@
 """Simulated NVM substrate: device, wear statistics, latency, hybrid layout."""
 
 from .device import SimulatedNVM, WriteReport
+from .faults import FaultModel
 from .hybrid import DRAMRegion, HybridMemory
 from .latency import TECHNOLOGIES, LatencyModel, MemoryTechnology
 from .shm import SharedZone, ZoneLayout
-from .stats import SharedWearStats, WearStats, cdf_of_counts
+from .stats import MediaStats, SharedWearStats, WearStats, cdf_of_counts
 
 __all__ = [
     "SimulatedNVM",
     "WriteReport",
+    "FaultModel",
     "DRAMRegion",
     "HybridMemory",
     "TECHNOLOGIES",
     "LatencyModel",
     "MemoryTechnology",
     "WearStats",
+    "MediaStats",
     "SharedWearStats",
     "SharedZone",
     "ZoneLayout",

@@ -32,6 +32,7 @@ from .stats import WearStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..writeschemes.base import WriteScheme
+    from .faults import FaultModel
 
 __all__ = ["SimulatedNVM", "WriteReport"]
 
@@ -83,6 +84,13 @@ class SimulatedNVM:
         Optional externally owned :class:`WearStats` (e.g. a
         :class:`~repro.nvm.stats.SharedWearStats`) to account into
         instead of allocating a private one.
+    faults:
+        Optional :class:`~repro.nvm.faults.FaultModel`.  When present,
+        every write is filtered through it just before the bytes land:
+        stuck cells keep their current value and weakened cells are
+        charged endurance budget.  Wear accounting still reflects the
+        *attempted* program (real cells wear on failed programs too),
+        so a fault-free model leaves accounting byte-identical.
     """
 
     def __init__(
@@ -96,6 +104,7 @@ class SimulatedNVM:
         latency: LatencyModel | None = None,
         data: np.ndarray | None = None,
         stats: WearStats | None = None,
+        faults: "FaultModel | None" = None,
     ) -> None:
         if num_buckets <= 0:
             raise ValueError(f"num_buckets must be positive, got {num_buckets}")
@@ -124,6 +133,7 @@ class SimulatedNVM:
         if stats is None:
             stats = WearStats(num_buckets, bucket_bytes, track_bit_wear)
         self.stats = stats
+        self.faults = faults
 
     # ------------------------------------------------------------------ #
     # geometry                                                            #
@@ -377,6 +387,8 @@ class SimulatedNVM:
             addresses, bit_updates, words_touched, lines_touched,
             latencies_ns, updated_bits,
         )
+        if self.faults is not None:
+            rows = self.faults.filter_many(addresses, old, rows)
         self._data[addresses] = rows
         for address in addresses:
             self._aux.pop(int(address), None)
@@ -429,6 +441,8 @@ class SimulatedNVM:
             latency_ns,
             updated_bits,
         )
+        if self.faults is not None:
+            stored = self.faults.filter(address, self._data[address], stored)
         self._data[address] = stored
         return WriteReport(
             address=address,
@@ -438,6 +452,30 @@ class SimulatedNVM:
             lines_touched=lines_touched,
             latency_ns=latency_ns,
         )
+
+    # ------------------------------------------------------------------ #
+    # media health                                                         #
+    # ------------------------------------------------------------------ #
+
+    def media_probe(self, address: int) -> int:
+        """Stuck-cell count of one row (0 on a fault-free device).
+
+        The scrubber's modeled margin read: a real controller senses
+        cell resistance margins during patrol; here we count the fault
+        model's stuck bits.  Unaccounted — it rides on the patrol read
+        the scrubber already charged."""
+        self._check_address(address)
+        if self.faults is None:
+            return 0
+        return self.faults.probe(address)
+
+    def age_media(self, addresses: np.ndarray | list[int] | None = None) -> int:
+        """Freeze pending weakened cells (see :meth:`FaultModel.age`);
+        no-op returning 0 without a fault model.  Test/bench hook for
+        manufacturing latent faults."""
+        if self.faults is None:
+            return 0
+        return self.faults.age(addresses)
 
     # ------------------------------------------------------------------ #
     # bulk views for model training                                       #

@@ -80,6 +80,7 @@ class HybridMemory:
         nvm_latency: LatencyModel | None = None,
         nvm_data=None,
         nvm_stats=None,
+        nvm_faults=None,
     ) -> None:
         self.nvm = SimulatedNVM(
             num_buckets,
@@ -90,6 +91,7 @@ class HybridMemory:
             latency=nvm_latency,
             data=nvm_data,
             stats=nvm_stats,
+            faults=nvm_faults,
         )
         self.dram = DRAMRegion()
 

@@ -44,15 +44,29 @@ class ZoneLayout:
     ``flag_words`` is the number of 32-bit words backing the validity
     bitmap (``ceil(num_buckets / 32)``); the flags device stores each
     word as a 4-byte bucket, mirroring ``PNWStore.flags_nvm``.
+
+    The always-present ``retired`` region is the
+    :class:`~repro.core.media.BadRowDirectory`'s packed row-retirement
+    bitmap (``ceil(num_buckets / 8)`` bytes): retirements are media
+    facts, so they must survive worker crashes exactly like the data
+    whose rows they condemn.  ``media_stuck`` additionally maps the
+    fault model's dense stuck-bit mask into the segment, so a respawned
+    worker inherits which cells already failed (the only part of the
+    media state that depends on write history).
     """
 
     num_buckets: int
     bucket_bytes: int
     track_bit_wear: bool = False
+    media_stuck: bool = False
 
     @property
     def flag_words(self) -> int:
         return -(-self.num_buckets // 32)
+
+    @property
+    def retired_bytes(self) -> int:
+        return -(-self.num_buckets // 8)
 
     def regions(self) -> dict[str, tuple[int, tuple[int, ...], np.dtype]]:
         """``name -> (byte offset, shape, dtype)`` for every region."""
@@ -67,7 +81,14 @@ class ZoneLayout:
             ("flag_writes", (self.flag_words,), np.dtype(np.int64)),
             ("flag_int_totals", (n_int,), np.dtype(np.int64)),
             ("flag_float_totals", (n_float,), np.dtype(np.float64)),
+            ("retired", (self.retired_bytes,), np.dtype(np.uint8)),
         ]
+        if self.media_stuck:
+            specs.append(
+                ("stuck",
+                 (self.num_buckets, self.bucket_bytes),
+                 np.dtype(np.uint8))
+            )
         if self.track_bit_wear:
             specs.append(
                 ("data_bit_wear",
@@ -137,6 +158,11 @@ class SharedZone:
 
     def view(self, name: str) -> np.ndarray:
         return self._views[name]
+
+    def has_region(self, name: str) -> bool:
+        """Whether the layout maps ``name`` (e.g. the optional ``stuck``
+        mask, present only for media-enabled configurations)."""
+        return name in self._views
 
     def data_stats(self) -> SharedWearStats:
         """Wear accounting of the data zone, over the shared slots."""

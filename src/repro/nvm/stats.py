@@ -13,11 +13,12 @@ paper plots: P(X <= x) over the observed counts.
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import dataclass, fields
+from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["WearStats", "SharedWearStats", "cdf_of_counts"]
+__all__ = ["WearStats", "SharedWearStats", "MediaStats", "cdf_of_counts"]
 
 
 def cdf_of_counts(counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -36,6 +37,57 @@ def cdf_of_counts(counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     hist = np.bincount(counts.astype(np.int64), minlength=max_count + 1)
     cum = np.cumsum(hist) / counts.size
     return values, cum
+
+
+@dataclass
+class MediaStats:
+    """Counters for the media fault-tolerance layer, one per store.
+
+    Mergeable across shards like :class:`WearStats` /
+    :class:`~repro.tier.stats.TierStats` (field-generic sum, so new
+    counters can never be silently under-reported), and a plain picklable
+    dataclass so a process worker can snapshot it over the RPC pipe.
+
+    * ``verify_failures`` — read-back compares that caught stuck bits
+      (initial batch verify plus failed relocation candidates).
+    * ``relocations`` — ops or live rows moved to a fresh address after
+      their first target failed verify (write path + scrub path).
+    * ``rows_retired`` — rows pulled out of circulation into the
+      :class:`~repro.core.media.BadRowDirectory`.
+    * ``writes_shed`` — put/update ops rejected with
+      :class:`~repro.errors.DegradedModeError` past the watermark.
+    * ``scrub_passes`` / ``rows_scrubbed`` — patrol progress.
+    * ``latent_faults_found`` — occupied rows the scrubber found sitting
+      on stuck cells and proactively relocated.
+    * ``checksum_mismatches`` — patrol reads whose bytes contradicted
+      the stored row checksum (acknowledged-data corruption; raises
+      :class:`~repro.errors.MediaError`).
+    """
+
+    verify_failures: int = 0
+    relocations: int = 0
+    rows_retired: int = 0
+    writes_shed: int = 0
+    scrub_passes: int = 0
+    rows_scrubbed: int = 0
+    latent_faults_found: int = 0
+    checksum_mismatches: int = 0
+
+    @classmethod
+    def merge(cls, parts: Iterable["MediaStats"]) -> "MediaStats":
+        """Sum per-shard snapshots into one store-wide view."""
+        parts = list(parts)
+        if not parts:
+            raise ValueError("merge() needs at least one MediaStats")
+        merged = cls()
+        for part in parts:
+            for f in fields(cls):
+                setattr(merged, f.name, getattr(merged, f.name) + getattr(part, f.name))
+        return merged
+
+    def as_dict(self) -> dict[str, int]:
+        """Flat counter dictionary (for ``/stats`` endpoints and tests)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 class WearStats:

@@ -77,11 +77,16 @@ def _mp_context():
 
 
 def zone_layout_for(config: PNWConfig) -> ZoneLayout:
-    """The shared-segment layout of one shard zone built from ``config``."""
+    """The shared-segment layout of one shard zone built from ``config``.
+
+    Media-enabled configs map the fault model's stuck-bit mask into the
+    segment too, so a respawned worker inherits which cells have already
+    failed (the row-retirement bitmap is always present)."""
     return ZoneLayout(
         num_buckets=config.num_buckets,
         bucket_bytes=config.bucket_bytes,
         track_bit_wear=config.track_bit_wear,
+        media_stuck=config.media_enabled,
     )
 
 
@@ -467,6 +472,20 @@ class ShardProcessClient:
 
     def set_keep_reports(self, keep: bool) -> None:
         self._request("set", "metrics.keep_reports", bool(keep))
+
+    @property
+    def media_stats(self):
+        """Snapshot of the worker store's media-health counters."""
+        return self._get("media_stats")[1]
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the worker store is shedding writes (media watermark)."""
+        return bool(self._get("degraded")[1])
+
+    def scrub(self, limit: int | None = None) -> dict[str, int]:
+        """One patrol-scrub pass on the worker store."""
+        return self._call("scrub", limit)
 
     # ------------------------------------------------------------------ #
     # test support                                                        #

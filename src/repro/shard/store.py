@@ -81,9 +81,15 @@ import numpy as np
 from ..core.config import PNWConfig
 from ..core.store import OperationReport, PNWStore, StoreMetrics
 from ..engine.plan import check_unique
-from ..errors import ConfigError, KeyNotFoundError, PoolExhaustedError
+from ..errors import (
+    ConfigError,
+    DegradedModeError,
+    KeyNotFoundError,
+    PoolExhaustedError,
+    WorkerCrashedError,
+)
 from ..index.base import KeyIndex
-from ..nvm.stats import WearStats
+from ..nvm.stats import MediaStats, WearStats
 from .procpool import ShardProcessClient
 from .router import assign_shards, shard_of
 
@@ -355,7 +361,9 @@ class ShardedPNWStore:
         with global addresses.
         """
         first = errors[min(errors)]
-        if isinstance(first, (PoolExhaustedError, KeyNotFoundError)):
+        if isinstance(
+            first, (PoolExhaustedError, KeyNotFoundError, DegradedModeError)
+        ):
             committed: list[OperationReport] = []
             for shard_id in sorted(set(results) | set(errors)):
                 reports = (
@@ -444,8 +452,15 @@ class ShardedPNWStore:
                 if isinstance(store, ShardProcessClient):
                     # One round-trip per run *sequence*: the worker
                     # executes the ordered runs locally and returns the
-                    # per-run outcomes with shard-local addresses.
-                    raw = store.run_sequence(runs)
+                    # per-run outcomes with shard-local addresses.  A
+                    # worker death mid-sequence (the zone has already
+                    # been recovered by the client) becomes one
+                    # WorkerCrashedError outcome per run, so the drain
+                    # path can retry them like any other failed run.
+                    try:
+                        raw = store.run_sequence(runs)
+                    except WorkerCrashedError as exc:
+                        return [(None, exc) for _ in runs]
                     return [
                         globalize_outcome(shard_id, reports, exc)
                         for reports, exc in raw
@@ -685,6 +700,38 @@ class ShardedPNWStore:
                 store.set_keep_reports(keep)
             else:
                 store.metrics.keep_reports = keep
+
+    def media_stats(self) -> MediaStats:
+        """Merged media-health counters across shards (a snapshot)."""
+        return MediaStats.merge([store.media_stats for store in self.stores])
+
+    @property
+    def degraded(self) -> bool:
+        """True when any shard is past its media retirement watermark —
+        a batch touching that shard will be shed with
+        :class:`~repro.errors.DegradedModeError`."""
+        return any(store.degraded for store in self.stores)
+
+    def scrub(self, limit: int | None = None) -> dict[str, int]:
+        """One patrol-scrub pass on every shard, quiesced like the other
+        lifecycle calls (all shard locks, ascending).  ``limit`` caps the
+        rows scanned *per shard*.  Returns the summed pass counters; a
+        media alarm from the lowest shard re-raises after every shard's
+        pass settles."""
+        with self._quiesced():
+            results, errors = self._map_shards_quiesced(
+                {
+                    i: (lambda store=store: store.scrub(limit))
+                    for i, store in enumerate(self.stores)
+                }
+            )
+        if errors:
+            raise errors[min(errors)]
+        totals: dict[str, int] = {}
+        for counters in results.values():
+            for name, value in counters.items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
 
     def wear_stats(self) -> WearStats:
         """Merged data-zone wear accounting across shards.

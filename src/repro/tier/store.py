@@ -80,7 +80,12 @@ import numpy as np
 from ..core.config import PNWConfig
 from ..core.reports import OperationReport, StoreMetrics
 from ..engine.plan import check_unique, validate_values
-from ..errors import ConfigError, KeyNotFoundError
+from ..errors import (
+    ConfigError,
+    DegradedModeError,
+    KeyNotFoundError,
+    WorkerCrashedError,
+)
 from ..index.base import KeyIndex
 from ..nvm.stats import WearStats
 from .cache import BufferCache
@@ -204,6 +209,25 @@ class TieredStore:
         """Write-back entries staged in DRAM but not yet flushed."""
         return sum(len(buffer) for buffer in self._buffers)
 
+    def _shed_if_degraded(self) -> None:
+        """Refuse to stage writes a degraded store could never flush.
+
+        Write-back staging would otherwise keep acknowledging
+        puts/updates in DRAM while the media underneath has crossed its
+        retirement watermark — data that could only ever be lost.  The
+        write-through path needs no tier check: the store itself sheds,
+        and :meth:`_mutate_many` forwards its error unchanged."""
+        if self.mode != "write_through" and getattr(
+            self.store, "degraded", False
+        ):
+            exc = DegradedModeError(
+                "tier write shed: the underlying store crossed its media "
+                "retirement watermark; retry after deletes or scrubbing "
+                "free healthy capacity"
+            )
+            exc.committed_reports = []
+            raise exc
+
     # ------------------------------------------------------------------ #
     # K/V operations                                                      #
     # ------------------------------------------------------------------ #
@@ -241,6 +265,7 @@ class TieredStore:
         keys = [self._normalize(key) for key, _ in items]
         validate_values(self.config, [value for _, value in items])
         with self._lock:
+            self._shed_if_degraded()
             if unique:
                 check_unique(keys, lambda k: k in self)
             return self._mutate_many(
@@ -256,6 +281,7 @@ class TieredStore:
         keys = [self._normalize(key) for key, _ in items]
         validate_values(self.config, [value for _, value in items])
         with self._lock:
+            self._shed_if_degraded()
             return self._mutate_many(
                 "update", list(zip(keys, (value for _, value in items)))
             )
@@ -466,7 +492,7 @@ class TieredStore:
             return 0
         self._local.flush_events += 1
         try:
-            reports = self.store.put_many(batch)
+            reports = self._flush_batch_retrying(batch)
         except Exception as exc:
             committed = {
                 report.key
@@ -487,6 +513,26 @@ class TieredStore:
                     if entry.rewrites == 0:
                         self.classifier.observe(entry.value, short=False)
         return len(reports)
+
+    #: Worker crashes absorbed per flush before the error surfaces.
+    _flush_worker_retries = 3
+
+    def _flush_batch_retrying(self, batch) -> list[OperationReport]:
+        """``store.put_many`` with bounded retry over mid-flush worker
+        crashes.  A :class:`~repro.errors.WorkerCrashedError` means the
+        shard worker died and its zone already recovered; the batch's
+        flagged prefix survived as durable upserts, so re-putting the
+        whole batch converges on exactly the intended state.  Any other
+        error (pool exhaustion, degraded shed) propagates to the
+        restaging logic in :meth:`_flush_buffers`."""
+        for attempt in range(self._flush_worker_retries + 1):
+            try:
+                return self.store.put_many(batch)
+            except WorkerCrashedError:
+                if attempt == self._flush_worker_retries:
+                    raise
+                self._local.flush_retries += 1
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def flush(self) -> int:
         """Drain every dirty entry to NVM now; returns entries written."""
@@ -609,6 +655,23 @@ class TieredStore:
     def wear_summary(self) -> dict[str, float]:
         """Headline counters of the data-zone wear."""
         return self.wear_stats().summary()
+
+    def media_stats(self):
+        """Media-health counters of the wrapped store (merged if sharded)."""
+        if self._sharded:
+            return self.store.media_stats()
+        return self.store.media_stats
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the wrapped store is shedding writes (media watermark)."""
+        return getattr(self.store, "degraded", False)
+
+    def scrub(self, limit: int | None = None) -> dict[str, int]:
+        """One patrol-scrub pass on the wrapped store (the tier's own
+        structures are DRAM — nothing of the tier needs scrubbing)."""
+        with self._lock:
+            return self.store.scrub(limit)
 
     @property
     def live_fraction(self) -> float:

@@ -1,0 +1,238 @@
+"""Headline acceptance: acked writes survive wear-out everywhere.
+
+Under a 1% depleted-budget fault injection, **every acknowledged
+put/update must remain readable with the exact acknowledged bytes** —
+across the thread and process executors, with and without the DRAM
+tier (write-through and write-back), and across a crash/recover cycle.
+
+Also pins the distributed corners: sharded degraded-mode merging, and
+retirement state surviving a ``kill -9`` of a process worker (the
+bitmap lives in the shared zone; the respawned worker re-blocks it).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro import PNWConfig, make_store
+from repro.errors import DegradedModeError
+from tests.conftest import clustered_values
+
+BACKENDS = ["single", "threads", "processes"]
+
+
+def media_config(backend: str, **overrides) -> PNWConfig:
+    base = dict(
+        num_buckets=258,
+        value_bytes=24,
+        key_bytes=8,
+        n_clusters=4,
+        seed=7,
+        n_init=1,
+        max_iter=20,
+        media_fault_rate=0.01,
+        media_fault_budget=0,
+        media_retire_watermark=1.0,
+    )
+    if backend != "single":
+        base.update(shards=3,
+                    executor="thread" if backend == "threads" else "process")
+    base.update(overrides)
+    return PNWConfig(**base)
+
+
+def warmed(config: PNWConfig):
+    store = make_store(config)
+    rng = np.random.default_rng(42)
+    store.warm_up(clustered_values(rng, config.num_buckets, config.value_bytes))
+    return store
+
+
+def hostile_pairs(rng: np.random.Generator, n: int,
+                  prefix: str = "k") -> list[tuple[bytes, bytes]]:
+    values = rng.integers(0, 256, size=(n, 24), dtype=np.uint8)
+    return [(f"{prefix}{i}".encode(), values[i].tobytes()) for i in range(n)]
+
+
+def drive(store) -> dict[bytes, bytes]:
+    """Mixed acked op stream; returns the expected final contents."""
+    pairs = hostile_pairs(np.random.default_rng(11), 60)
+    store.put_many(pairs)
+    fresh = np.random.default_rng(12).integers(0, 256, (25, 24), dtype=np.uint8)
+    updates = [(pairs[i][0], fresh[i].tobytes()) for i in range(25)]
+    store.update_many(updates)
+    store.delete_many([key for key, _ in pairs[45:55]])
+    singles = hostile_pairs(np.random.default_rng(13), 6, prefix="s")
+    for key, value in singles:
+        store.put(key, value)
+    expected = dict(pairs)
+    expected.update(updates)
+    for key, _ in pairs[45:55]:
+        del expected[key]
+    expected.update(singles)
+    return expected
+
+
+def assert_contents(store, expected: dict[bytes, bytes]) -> None:
+    for key, value in expected.items():
+        assert store.get(key) == value
+    assert len(store) == len(expected)
+
+
+def media_stats_of(store):
+    stats = store.media_stats
+    return stats() if callable(stats) else stats
+
+
+def close(store) -> None:
+    closer = getattr(store, "close", None)
+    if closer is not None:
+        closer()
+
+
+def acked_value(pairs: list[tuple[bytes, bytes]], key: bytes) -> bytes:
+    """Look up a report's (zero-padded) key in the submitted pairs."""
+    width = len(key)
+    return {k.ljust(width, b"\x00"): v for k, v in pairs}[key]
+
+
+def wait_for(predicate, timeout: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("timed out waiting for condition")
+        time.sleep(0.01)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestSurvivalAcrossExecutors:
+    def test_acked_ops_readable_and_crash_safe(self, backend):
+        store = warmed(media_config(backend))
+        try:
+            expected = drive(store)
+            assert_contents(store, expected)
+            stats = media_stats_of(store)
+            assert stats.verify_failures > 0
+            assert stats.rows_retired > 0
+            store.crash()
+            store.recover()
+            assert_contents(store, expected)
+            # The store keeps absorbing faults after recovery.
+            post = hostile_pairs(np.random.default_rng(14), 10, prefix="post")
+            store.put_many(post)
+            for key, value in post:
+                assert store.get(key) == value
+        finally:
+            close(store)
+
+    def test_scrub_after_ageing_keeps_contents(self, backend):
+        config = media_config(backend, media_fault_budget=100)
+        store = warmed(config)
+        try:
+            expected = drive(store)
+            if backend == "single":
+                store.nvm.age_media()
+            else:
+                for shard in getattr(store, "stores", []):
+                    if hasattr(shard, "nvm") and hasattr(shard.nvm, "age_media"):
+                        shard.nvm.age_media()
+            totals = store.scrub()
+            assert totals["scanned"] > 0
+            assert_contents(store, expected)
+        finally:
+            close(store)
+
+
+@pytest.mark.parametrize("backend", ["single", "processes"])
+@pytest.mark.parametrize("tier_mode", ["write_through", "write_back"])
+class TestSurvivalUnderTheTier:
+    def test_tiered_acked_ops_survive_faults_and_crash(self, backend, tier_mode):
+        config = media_config(
+            backend,
+            tier_mode=tier_mode,
+            tier_cache_entries=32,
+            tier_writeback_entries=16,
+            tier_flush_ops=4096,
+        )
+        store = warmed(config)
+        try:
+            expected = drive(store)
+            assert_contents(store, expected)
+            # Write-back staging is DRAM: only flushed data is durable,
+            # so drain the buffer before pulling the plug.
+            store.flush()
+            stats = store.media_stats()
+            assert stats.verify_failures > 0
+            store.crash()
+            store.recover()
+            assert_contents(store, expected)
+        finally:
+            close(store)
+
+
+class TestShardedDegradedMerge:
+    def test_any_degraded_shard_degrades_the_store(self):
+        store = warmed(media_config("threads", media_retire_watermark=0.02))
+        try:
+            rng = np.random.default_rng(15)
+            shed = False
+            acked: dict[bytes, bytes] = {}
+            for round_no in range(300):
+                pairs = hostile_pairs(rng, 6, prefix=f"d{round_no}-")
+                try:
+                    store.put_many(pairs)
+                except DegradedModeError as exc:
+                    for report in exc.committed_reports:
+                        acked[report.key] = acked_value(pairs, report.key)
+                    shed = True
+                    break
+                acked.update(pairs)
+            assert shed, "no shard ever degraded"
+            assert store.degraded
+            assert media_stats_of(store).writes_shed > 0
+            # Reads still serve everything that was acknowledged.
+            for key, value in acked.items():
+                assert store.get(key) == value
+        finally:
+            close(store)
+
+
+class TestRetirementSurvivesWorkerDeath:
+    def test_zone_bitmap_outlives_the_worker(self):
+        store = warmed(media_config("processes", media_retire_watermark=0.03))
+        try:
+            rng = np.random.default_rng(16)
+            acked: dict[bytes, bytes] = {}
+            for round_no in range(300):
+                pairs = hostile_pairs(rng, 6, prefix=f"w{round_no}-")
+                try:
+                    store.put_many(pairs)
+                except DegradedModeError as exc:
+                    for report in exc.committed_reports:
+                        acked[report.key] = acked_value(pairs, report.key)
+                    break
+                acked.update(pairs)
+            assert store.degraded
+            retired_before = media_stats_of(store).rows_retired
+            assert retired_before > 0
+            # kill -9 every worker: DRAM state (budgets, counters) dies,
+            # the retirement bitmap and stuck mask live in the zone.
+            victims = list(store.stores)
+            for client in victims:
+                os.kill(client.pid, signal.SIGKILL)
+            for client in victims:
+                wait_for(lambda c=client: not c.is_alive())
+            # Respawned workers reconstruct from the zone: still
+            # degraded (bitmap persisted), still serving every ack.
+            assert store.degraded
+            for key, value in acked.items():
+                assert store.get(key) == value
+            with pytest.raises(DegradedModeError):
+                store.put_many(hostile_pairs(rng, 3, prefix="late"))
+        finally:
+            close(store)

@@ -1,0 +1,114 @@
+"""Worker-crash absorption: ingest retry and tier flush retry.
+
+A shard worker process dying mid-flush used to surface as
+``WorkerCrashedError`` to whoever held the batch.  Both async write
+paths now absorb it — the op stream is an idempotent upsert stream, so
+re-submitting the whole failed sub-batch is safe:
+
+* :class:`~repro.ingest.queue.IngestQueue` re-dispatches the failed
+  shard's runs with jittered exponential backoff (``ops_retried``);
+* :class:`~repro.tier.store.TieredStore` re-submits the flush batch
+  (``TierStats.flush_retries``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import IngestQueue, PNWConfig, make_store
+from repro.errors import WorkerCrashedError
+from tests.conftest import clustered_values
+
+
+def process_config(**overrides) -> PNWConfig:
+    base = dict(
+        num_buckets=192,
+        value_bytes=24,
+        key_bytes=8,
+        n_clusters=4,
+        seed=7,
+        n_init=1,
+        max_iter=20,
+        shards=3,
+        executor="process",
+    )
+    base.update(overrides)
+    return PNWConfig(**base)
+
+
+def warmed(config: PNWConfig):
+    store = make_store(config)
+    rng = np.random.default_rng(42)
+    store.warm_up(clustered_values(rng, config.num_buckets, config.value_bytes))
+    return store
+
+
+def batch_of(rng: np.random.Generator, n: int,
+             prefix: str = "k") -> list[tuple[bytes, bytes]]:
+    values = clustered_values(rng, n, 24, flip_rate=0.05)
+    return [(f"{prefix}{i}".encode(), values[i].tobytes()) for i in range(n)]
+
+
+class TestIngestAbsorbsWorkerCrash:
+    def test_midflush_kill_is_retried_not_surfaced(self):
+        store = warmed(process_config())
+        try:
+            pairs = batch_of(np.random.default_rng(1), 48)
+            # Arm every shard: whichever gets the first sub-batch dies
+            # after landing one row of it.
+            for client in store.stores:
+                client.sabotage_next_flush(1)
+            queue = IngestQueue(store, max_batch=16, max_delay=0.002)
+            futures = [queue.put(key, value) for key, value in pairs]
+            queue.close()
+            # Every future resolves with a report — the crash never
+            # reaches the producers.
+            for future in futures:
+                assert future.result(timeout=10) is not None
+            assert queue.ops_retried > 0
+            for key, value in pairs:
+                assert store.get(key) == value
+        finally:
+            store.close()
+
+    def test_direct_batch_still_surfaces_the_crash(self):
+        # The retry belongs to the async queue; the synchronous
+        # put_many contract (raise, caller replays) is unchanged.
+        store = warmed(process_config())
+        try:
+            pairs = batch_of(np.random.default_rng(2), 36)
+            by_shard: dict[int, list] = {}
+            for key, value in pairs:
+                by_shard.setdefault(store.shard_of_key(key), []).append(
+                    (key, value)
+                )
+            torn = max(by_shard, key=lambda sid: len(by_shard[sid]))
+            store.stores[torn].sabotage_next_flush(len(by_shard[torn]) // 2)
+            with pytest.raises(WorkerCrashedError):
+                store.put_many(pairs)
+        finally:
+            store.close()
+
+
+class TestTierFlushAbsorbsWorkerCrash:
+    def test_writeback_flush_retries_through_the_crash(self):
+        config = process_config(
+            tier_mode="write_back",
+            tier_cache_entries=32,
+            tier_writeback_entries=64,
+            tier_flush_ops=4096,
+        )
+        store = warmed(config)
+        try:
+            pairs = batch_of(np.random.default_rng(3), 40)
+            store.put_many(pairs)  # staged in DRAM, backend untouched
+            for client in store.store.stores:
+                client.sabotage_next_flush(1)
+            flushed = store.flush()
+            assert flushed == len(pairs)
+            assert store.tier_stats.flush_retries > 0
+            for key, value in pairs:
+                assert store.store.get(key) == value
+        finally:
+            store.close()

@@ -95,6 +95,85 @@ class TestSharedZone:
             other.close()
 
 
+class TestMediaRegions:
+    def test_retired_region_is_always_present(self):
+        layout = ZoneLayout(num_buckets=70, bucket_bytes=16)
+        spec = layout.regions()["retired"]
+        assert spec[1] == (layout.retired_bytes,)
+        assert layout.retired_bytes == 9  # ceil(70 / 8)
+
+    def test_stuck_region_is_gated_on_media_stuck(self):
+        plain = ZoneLayout(num_buckets=16, bucket_bytes=8)
+        assert "stuck" not in plain.regions()
+        media = ZoneLayout(num_buckets=16, bucket_bytes=8, media_stuck=True)
+        assert media.regions()["stuck"][1] == (16, 8)
+        media_zone = SharedZone.create(media)
+        try:
+            assert media_zone.has_region("stuck")
+            assert not media_zone.view("stuck").any()
+        finally:
+            media_zone.close()
+            media_zone.unlink()
+
+    def test_retirement_bitmap_survives_reattach(self, zone):
+        from repro.core.media import BadRowDirectory
+
+        directory = BadRowDirectory(
+            zone.layout.num_buckets, bitmap=zone.view("retired")
+        )
+        for address in (0, 13, 42, 69):
+            assert directory.retire(address)
+        other = SharedZone.attach(zone.layout, zone.name)
+        try:
+            # A second mapping — the respawned worker's view — sees the
+            # identical condemnation set without any handshake.
+            mirrored = BadRowDirectory(
+                zone.layout.num_buckets, bitmap=other.view("retired")
+            )
+            assert mirrored.count == 4
+            assert list(mirrored.retired_addresses()) == [0, 13, 42, 69]
+            # And retirements flow the other way too.
+            mirrored.retire(7)
+            assert directory.is_retired(7)
+        finally:
+            del mirrored  # drop the exported bitmap view first
+            other.close()
+
+    def test_stuck_mask_round_trips_through_the_zone(self):
+        layout = ZoneLayout(num_buckets=16, bucket_bytes=8, media_stuck=True)
+        zone = SharedZone.create(layout)
+        try:
+            from repro.nvm import FaultModel
+
+            model = FaultModel(
+                16, 8, fault_rate=0.2, fault_budget=0, seed=5,
+                stuck=zone.view("stuck"),
+            )
+            old = np.zeros(8, dtype=np.uint8)
+            new = np.full(8, 0xFF, dtype=np.uint8)
+            model.filter(3, old, new.copy())
+            assert model.stuck_events > 0
+            other = SharedZone.attach(layout, zone.name)
+            try:
+                # A re-drawn model over the re-attached mask honours the
+                # previous life's frozen cells: they are not pending.
+                reborn = FaultModel(
+                    16, 8, fault_rate=0.2, fault_budget=0, seed=5,
+                    stuck=other.view("stuck"),
+                )
+                assert np.array_equal(reborn.stuck, model.stuck)
+                assert reborn.pending_cells == (
+                    model.n_faulty - model.stuck_events
+                )
+            finally:
+                del reborn  # drop the exported stuck view first
+                other.close()
+        finally:
+            del model
+            zone.close()
+            zone.unlink()
+
+
 class TestSharedWearStats:
     def test_matches_private_stats_record_for_record(self, zone):
         shared = zone.data_stats()
