@@ -234,7 +234,23 @@ class KVServer:
                 if hasattr(store, "tier_stats")
                 else None
             ),
+            "router": self._router_stats(store),
         }
+
+    @staticmethod
+    def _router_stats(store) -> dict | None:
+        """Routing/rebalancing counters of a sharded (or tiered-over-
+        sharded) store: per-shard routed ops, bucket moves, migrated
+        keys, migration batch retries.  ``None`` for single-zone."""
+        stats = getattr(store, "router_stats", None)
+        if stats is None:
+            return None
+        snapshot = stats()
+        if snapshot is None:
+            return None
+        block = snapshot.as_dict()
+        block["routing_epoch"] = getattr(store, "routing_epoch", 0)
+        return block
 
     @staticmethod
     def _media_stats(store) -> dict | None:

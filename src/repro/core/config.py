@@ -139,6 +139,44 @@ class PNWConfig:
         with :class:`~repro.errors.DegradedModeError` (reads and
         deletes still served) so a worn zone fails loudly instead of
         thrashing the last few healthy rows.
+    rebalance_mode:
+        Load-aware routing on the sharded store.  ``"off"`` (default)
+        pins the virtual-bucket table to its FNV-default layout — the
+        store is bit-identical to pure ``hash % n_shards`` routing.
+        ``"watermark"`` arms the
+        :class:`~repro.shard.rebalance.Rebalancer`: when any shard's
+        free pool fraction falls under ``rebalance_low_watermark``
+        while a meaningfully freer sibling exists, whole virtual
+        buckets of keys are migrated between zones through the ordinary
+        engine batch pipeline.  A plain :class:`PNWStore` ignores it.
+    rebalance_policy:
+        Which bucket-move planner a rebalance pass runs: ``"greedy"``
+        (repeated best-single-move local search minimizing the maximum
+        fractional shard load, warm-started from the current table) or
+        ``"hot_bucket"`` (move only the single hottest bucket off the
+        most loaded shard per pass).
+    router_vbuckets:
+        Virtual buckets *per shard* in the routing table (the universe
+        is ``router_vbuckets * shards``).  More buckets mean finer
+        migration granularity at the cost of a larger table.
+    rebalance_low_watermark:
+        Free-pool fraction under which a shard is considered starved:
+        a rebalance pass triggers when the minimum per-shard free
+        fraction drops below this while the max-min spread exceeds it
+        too (i.e. a move can actually help).
+    rebalance_check_interval:
+        Mutations between watermark checks (checked batch-wise at the
+        sharded store's entry points and the ingest dispatch path).
+    rebalance_max_keys:
+        Keys per migration batch: a bucket's keys are copied (and later
+        deleted from the donor) in engine-stage batches of at most this
+        many, bounding what one mid-migration crash can leave behind.
+    rebalance_wear_factor:
+        Optional wear trigger: ``> 0`` additionally fires a rebalance
+        pass when the max/min per-shard mean-wear ratio exceeds this
+        factor, and breaks recipient ties toward the least-worn shard
+        (the SoftWear-style wear-leveling flavour of the same move).
+        ``0`` (default) leaves occupancy as the only trigger.
     """
 
     num_buckets: int
@@ -173,6 +211,13 @@ class PNWConfig:
     media_fault_budget: int = 0
     media_verify: bool = True
     media_retire_watermark: float = 0.05
+    rebalance_mode: str = "off"
+    rebalance_policy: str = "greedy"
+    router_vbuckets: int = 64
+    rebalance_low_watermark: float = 0.2
+    rebalance_check_interval: int = 32
+    rebalance_max_keys: int = 256
+    rebalance_wear_factor: float = 0.0
 
     def __post_init__(self) -> None:
         if self.num_buckets <= 0:
@@ -251,6 +296,39 @@ class PNWConfig:
             raise ConfigError(
                 f"media_retire_watermark must be in (0, 1], "
                 f"got {self.media_retire_watermark}"
+            )
+        if self.rebalance_mode not in ("off", "watermark"):
+            raise ConfigError(
+                f"rebalance_mode must be 'off' or 'watermark', "
+                f"got {self.rebalance_mode!r}"
+            )
+        if self.rebalance_policy not in ("greedy", "hot_bucket"):
+            raise ConfigError(
+                f"rebalance_policy must be 'greedy' or 'hot_bucket', "
+                f"got {self.rebalance_policy!r}"
+            )
+        if self.router_vbuckets < 1:
+            raise ConfigError(
+                f"router_vbuckets must be >= 1, got {self.router_vbuckets}"
+            )
+        if not 0.0 < self.rebalance_low_watermark < 1.0:
+            raise ConfigError(
+                f"rebalance_low_watermark must be in (0, 1), "
+                f"got {self.rebalance_low_watermark}"
+            )
+        if self.rebalance_check_interval < 1:
+            raise ConfigError(
+                f"rebalance_check_interval must be >= 1, "
+                f"got {self.rebalance_check_interval}"
+            )
+        if self.rebalance_max_keys < 1:
+            raise ConfigError(
+                f"rebalance_max_keys must be >= 1, got {self.rebalance_max_keys}"
+            )
+        if self.rebalance_wear_factor < 0.0:
+            raise ConfigError(
+                f"rebalance_wear_factor must be >= 0, "
+                f"got {self.rebalance_wear_factor}"
             )
         if self.media_fault_rate > 0.0 and self.seed is None:
             raise ConfigError(

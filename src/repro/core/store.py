@@ -286,6 +286,10 @@ class PNWStore:
         self.metrics.retrains += 1
 
     def _maybe_retrain(self) -> bool:
+        if self.engine.defer_retrain:
+            # Migration batches don't advance the retrain clock: the
+            # load-factor check simply runs on the next regular mutation.
+            return False
         self._mutations_since_check += 1
         if self._mutations_since_check < self.config.retrain_check_interval:
             return False
@@ -356,6 +360,16 @@ class PNWStore:
         bucket = self.nvm.read(address)
         self.metrics.gets += 1
         return bucket[self.config.key_bytes :].tobytes()
+
+    def get_many(self, keys: Iterable[bytes]) -> list[bytes]:
+        """Read many keys in order (one padded value per key).
+
+        The bulk read of the shard rebalancer's migration batches — for
+        a process-executor shard it turns a bucket copy into one RPC
+        round-trip instead of one per key.  A missing key raises
+        :class:`KeyNotFoundError` like :meth:`get`.
+        """
+        return [self.get(key) for key in keys]
 
     def delete(self, key: bytes) -> OperationReport:
         """DELETE (Algorithm 3): flag reset + address recycling.

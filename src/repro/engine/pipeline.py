@@ -28,6 +28,7 @@ by the batch-equivalence and probe-oracle suites).
 
 from __future__ import annotations
 
+import contextlib
 from typing import TYPE_CHECKING, Iterable, Iterator
 
 import numpy as np
@@ -182,6 +183,24 @@ class MutationEngine:
 
     def __init__(self, store: "PNWStore") -> None:
         self.store = store
+        #: While True, retrain checks are suppressed: planners cap chunks
+        #: at the batch (not the retrain interval) and the store's
+        #: ``_maybe_retrain`` is a no-op.  The shard rebalancer sets this
+        #: around migration batches — a full K-Means refit inside the
+        #: migration window (which holds every shard lock) would stall
+        #: all producers; the check simply runs on the next regular
+        #: mutation instead.
+        self.defer_retrain = False
+
+    @contextlib.contextmanager
+    def deferred_retrain(self):
+        """Suppress retrain checks for the block (reentrancy-safe)."""
+        previous = self.defer_retrain
+        self.defer_retrain = True
+        try:
+            yield
+        finally:
+            self.defer_retrain = previous
 
     # ------------------------------------------------------------------ #
     # driver                                                              #

@@ -116,7 +116,12 @@ def plan_puts(
             yield SingleUpdate(key, value)
             i += 1
             continue
-        cap = store.config.retrain_check_interval - store._mutations_since_check
+        cap = (
+            n
+            if engine.defer_retrain
+            else store.config.retrain_check_interval
+            - store._mutations_since_check
+        )
         chunk_keys, chunk_values, taken = [key], [value], {key}
         i += 1
         pending_update: tuple[bytes, bytes | np.ndarray] | None = None
@@ -160,7 +165,7 @@ def plan_updates(
             raise KeyNotFoundError(f"key {key!r} not found")
         cap = (
             store.config.retrain_check_interval - store._mutations_since_check
-            if endurance
+            if endurance and not engine.defer_retrain
             else n
         )
         chunk: list[tuple[bytes, bytes | np.ndarray]] = [(key, value)]

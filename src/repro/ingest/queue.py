@@ -79,6 +79,8 @@ window are woken with :class:`~repro.errors.QueueClosedError`.
 
 from __future__ import annotations
 
+import contextlib
+import itertools
 import random
 import threading
 import time
@@ -107,7 +109,7 @@ OVERLOAD_POLICIES = ("block", "shed", "deadline")
 class _Run:
     """One shard's run of consecutive same-kind ops (one ``*_many``)."""
 
-    __slots__ = ("kind", "items", "futures", "deadlines")
+    __slots__ = ("kind", "items", "futures", "deadlines", "seqs", "epoch")
 
     def __init__(self, kind: str) -> None:
         self.kind = kind
@@ -116,6 +118,15 @@ class _Run:
         #: Admission deadlines (monotonic), only under the ``deadline``
         #: overload policy; ``None`` otherwise.
         self.deadlines: list[float] | None = None
+        #: Global admission sequence number per op: dispatch restores
+        #: the cross-lane admission order when re-routing stale-laned
+        #: runs after a routing-table change.
+        self.seqs: list[int] = []
+        #: The oldest routing epoch observed by any op laned into this
+        #: run (each producer reads the epoch *before* routing, so a
+        #: run whose epoch matches the table at dispatch is guaranteed
+        #: to be laned correctly).
+        self.epoch: int = 0
 
 
 class _Lane:
@@ -284,6 +295,9 @@ class IngestQueue:
         #: Guards ops_rejected: shed/deadline producers and _expire
         #: (under the drain lock) all bump it concurrently.
         self._rejected_lock = threading.Lock()
+        #: Global admission order: dispatch re-lanes pending runs by
+        #: these when the store's routing table changed under them.
+        self._seq = itertools.count()
         self._flusher: threading.Thread | None = None
         if autostart:
             self.start()
@@ -426,6 +440,10 @@ class IngestQueue:
     def _submit(self, kind: str, key: bytes, item) -> Future:
         if self._closed:
             raise QueueClosedError("cannot submit to a closed IngestQueue")
+        # Read the routing epoch *before* routing: if the table changes
+        # after this read, the dispatch-time epoch check catches it and
+        # re-lanes the op, so a stale lane choice is never executed.
+        epoch = getattr(self.store, "routing_epoch", 0)
         # Resolve the shard *before* taking a window slot: on a sharded
         # store this validates the key (shard_of_key raises on bad
         # type/length), and a rejected key must never consume a slot.
@@ -448,12 +466,15 @@ class IngestQueue:
                     or len(runs[-1].items) >= self.max_batch
                 ):
                     run = _Run(kind)
+                    run.epoch = epoch
                     if self.overload == "deadline":
                         run.deadlines = []
                     runs.append(run)
                 run = runs[-1]
+                run.epoch = min(run.epoch, epoch)
                 run.items.append(item)
                 run.futures.append(future)
+                run.seqs.append(next(self._seq))
                 if run.deadlines is not None:
                     run.deadlines.append(deadline)
                 lane.count += 1
@@ -631,7 +652,46 @@ class IngestQueue:
 
     def _dispatch_inner(self, batches: dict[int, list[_Run]]) -> None:
         if self._sharded:
-            pending = {shard_id: list(runs) for shard_id, runs in batches.items()}
+            self._dispatch_sharded(batches)
+            return
+        ops = {
+            "put": self.store.put_many,
+            "update": self.store.update_many,
+            "delete": self.store.delete_many,
+        }
+        for run in batches.get(0, []):
+            try:
+                reports = ops[run.kind](run.items)
+            except Exception as exc:  # noqa: BLE001 - routed to futures
+                self._resolve(run, None, exc)
+            else:
+                self._resolve(run, reports, None)
+            self.batches_dispatched += 1
+
+    def _dispatch_sharded(self, batches: dict[int, list[_Run]]) -> None:
+        # Give the store's rebalancer its shot *before* pinning the
+        # routing epoch — a rebalance pass takes the epoch's write side,
+        # which a pin held by this same thread would deadlock against.
+        check = getattr(self.store, "rebalance_check", None)
+        if check is not None:
+            check(sum(
+                len(run.items)
+                for runs in batches.values()
+                for run in runs
+            ))
+        pending = {shard_id: list(runs) for shard_id, runs in batches.items()}
+        pin = getattr(self.store, "routing_pin", None)
+        with (pin() if pin is not None else contextlib.nullcontext()):
+            # Runs were laned under the routing epoch their producers
+            # observed; if a bucket migration slid in since, re-lane
+            # them (in global admission order) under the pinned table.
+            epoch = getattr(self.store, "routing_epoch", None)
+            if epoch is not None and any(
+                run.epoch != epoch
+                for runs in pending.values()
+                for run in runs
+            ):
+                pending = self._reroute(pending, epoch)
             for attempt in range(self.worker_retry_limit + 1):
                 results = self.store.run_shard_batches(
                     {
@@ -669,20 +729,51 @@ class IngestQueue:
                     * (0.5 + random.random())
                 )
                 pending = retry
-            return
-        ops = {
-            "put": self.store.put_many,
-            "update": self.store.update_many,
-            "delete": self.store.delete_many,
-        }
-        for run in batches.get(0, []):
-            try:
-                reports = ops[run.kind](run.items)
-            except Exception as exc:  # noqa: BLE001 - routed to futures
-                self._resolve(run, None, exc)
-            else:
-                self._resolve(run, reports, None)
-            self.batches_dispatched += 1
+
+    def _reroute(
+        self, pending: dict[int, list[_Run]], epoch: int
+    ) -> dict[int, list[_Run]]:
+        """Re-lane detached runs under the current routing table.
+
+        A bucket migration between submission (where lanes were chosen)
+        and dispatch may have re-homed keys; executing stale-laned runs
+        would hand ops to shards that no longer own them.  Flatten every
+        op, restore the global admission order via the per-op sequence
+        numbers, and regroup into fresh runs under the pinned table with
+        the same run-cutting rules as submission — so the re-laned
+        batches are exactly what submission would have produced had the
+        new table been live all along.
+        """
+        flat: list[tuple] = []
+        for runs in pending.values():
+            for run in runs:
+                deadlines = run.deadlines or [None] * len(run.items)
+                for seq, item, future, deadline in zip(
+                    run.seqs, run.items, run.futures, deadlines
+                ):
+                    flat.append((seq, run.kind, item, future, deadline))
+        flat.sort(key=lambda entry: entry[0])
+        out: dict[int, list[_Run]] = {}
+        for seq, kind, item, future, deadline in flat:
+            key = item if kind == "delete" else item[0]
+            runs = out.setdefault(self.store.shard_of_key(key), [])
+            if (
+                not runs
+                or runs[-1].kind != kind
+                or len(runs[-1].items) >= self.max_batch
+            ):
+                run = _Run(kind)
+                run.epoch = epoch
+                if self.overload == "deadline":
+                    run.deadlines = []
+                runs.append(run)
+            run = runs[-1]
+            run.seqs.append(seq)
+            run.items.append(item)
+            run.futures.append(future)
+            if run.deadlines is not None:
+                run.deadlines.append(deadline)
+        return out
 
     @staticmethod
     def _resolve(

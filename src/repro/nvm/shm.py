@@ -53,12 +53,22 @@ class ZoneLayout:
     fault model's dense stuck-bit mask into the segment, so a respawned
     worker inherits which cells already failed (the only part of the
     media state that depends on write history).
+
+    ``routing_slots`` (when ``> 0``) maps the sharded store's
+    virtual-bucket routing table into the segment: an ``int32`` shard
+    id per virtual bucket (``routing``) plus an ``int64[4]`` header
+    (``routing_meta``: version, n_shards, n_vbuckets, reserved).  The
+    table is parent-owned shared routing state rather than one zone's
+    durable data, so it rides in its own small segment (see
+    :class:`~repro.shard.router.RoutingTable`), but the layout/region
+    machinery is identical.
     """
 
     num_buckets: int
     bucket_bytes: int
     track_bit_wear: bool = False
     media_stuck: bool = False
+    routing_slots: int = 0
 
     @property
     def flag_words(self) -> int:
@@ -95,6 +105,11 @@ class ZoneLayout:
                  (self.num_buckets, self.bucket_bytes * 8),
                  np.dtype(np.uint32))
             )
+        if self.routing_slots > 0:
+            specs.append(
+                ("routing", (self.routing_slots,), np.dtype(np.int32))
+            )
+            specs.append(("routing_meta", (4,), np.dtype(np.int64)))
         regions: dict[str, tuple[int, tuple[int, ...], np.dtype]] = {}
         offset = 0
         for name, shape, dtype in specs:

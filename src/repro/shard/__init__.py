@@ -1,14 +1,27 @@
 """Sharded PNW: hash-partitioned zones with concurrent batch pipelines."""
 
 from .procpool import ShardProcessClient
-from .router import ROUTER_SEED, assign_shards, shard_of
+from .rebalance import POLICIES, Rebalancer
+from .router import (
+    ROUTER_SEED,
+    RouterStats,
+    RoutingTable,
+    assign_shards,
+    hash_keys,
+    shard_of,
+)
 from .store import ShardedPNWStore, make_store, shard_configs
 
 __all__ = [
+    "POLICIES",
     "ROUTER_SEED",
+    "Rebalancer",
+    "RouterStats",
+    "RoutingTable",
     "ShardProcessClient",
     "ShardedPNWStore",
     "assign_shards",
+    "hash_keys",
     "make_store",
     "shard_configs",
     "shard_of",

@@ -437,6 +437,16 @@ class ShardProcessClient:
     def get(self, key: bytes) -> bytes:
         return self._call("get", key)
 
+    def get_many(self, keys: Iterable[bytes]) -> list[bytes]:
+        """Bulk read in one round-trip (the migration copy path)."""
+        return self._call("get_many", list(keys))
+
+    def set_defer_retrain(self, defer: bool) -> None:
+        """Toggle the worker engine's retrain deferral (the rebalancer
+        wraps migration batches in this so a K-Means refit can't stall
+        the quiesced migration window)."""
+        self._request("set", "engine.defer_retrain", bool(defer))
+
     def warm_up(self, old_data: np.ndarray) -> None:
         return self._call("warm_up", np.ascontiguousarray(old_data))
 

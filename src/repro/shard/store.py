@@ -1,7 +1,9 @@
 """Hash-partitioned PNW store: N independent zones, one pipeline each.
 
 ``ShardedPNWStore`` splits the key space across ``N`` shards by a
-stable hash of the key (``router.shard_of``).  Each shard is a complete,
+stable hash of the key through a virtual-bucket indirection table
+(:class:`~repro.shard.router.RoutingTable` — with the default table
+this is exactly ``hash % n_shards``).  Each shard is a complete,
 unmodified :class:`~repro.core.store.PNWStore` — its own NVM zone,
 validity bitmap, hash index, k-means model, and dynamic address pool —
 so everything proved about the single store (batch/sequential
@@ -65,6 +67,17 @@ never nest, lifecycle paths take **all** locks in ascending order, and
 lifecycle work never runs on the shared K/V thread pool (it uses a
 transient pool), so a queued K/V task blocked on a shard lock can never
 sit in front of the lifecycle work that would release it.
+
+Load-aware routing (``rebalance_mode != "off"``) adds one more layer to
+that discipline: a writer-preferring **routing latch**
+(:class:`~repro.shard.rebalance.RoutingLatch`).  Every K/V path pins
+the routing epoch with a read hold around route-and-execute, and the
+:class:`~repro.shard.rebalance.Rebalancer` takes the write side (then
+quiesces) before editing the :class:`~repro.shard.router.RoutingTable`.
+The lock order is always latch → shard locks, so the existing
+cycle-freedom argument carries over unchanged.  With the default
+``rebalance_mode="off"`` the table keeps its FNV-equivalent layout and
+the store's on-device state is byte-identical to the pre-table code.
 """
 
 from __future__ import annotations
@@ -88,10 +101,12 @@ from ..errors import (
     PoolExhaustedError,
     WorkerCrashedError,
 )
-from ..index.base import KeyIndex
+from ..index.base import KeyIndex, stable_hash64
+from ..nvm.shm import SharedZone, ZoneLayout
 from ..nvm.stats import MediaStats, WearStats
 from .procpool import ShardProcessClient
-from .router import assign_shards, shard_of
+from .rebalance import Rebalancer, RoutingLatch
+from .router import ROUTER_SEED, RouterStats, RoutingTable, hash_keys
 
 __all__ = ["ShardedPNWStore", "make_store", "shard_configs"]
 
@@ -192,6 +207,42 @@ class ShardedPNWStore:
         #: One lock per shard engine: concurrent K/V calls from several
         #: threads serialize per shard, never against the whole store.
         self._shard_locks = [threading.Lock() for _ in self.stores]
+        #: Whether the live rebalancer is armed (``rebalance_mode``).
+        self.rebalance_enabled = config.rebalance_mode != "off"
+        if self.rebalance_enabled and config.index_placement != "dram":
+            raise ConfigError(
+                "rebalance_mode requires index_placement='dram': bucket "
+                "migrations enumerate a shard's live keys through its "
+                "DRAM index"
+            )
+        self._stats_lock = threading.Lock()
+        self._router_stats = RouterStats.for_shards(self.n_shards)
+        self._routing_zone: SharedZone | None = None
+        if self.rebalance_enabled and self.executor_kind == "process":
+            # The table must survive kill -9 worker respawns and stay
+            # authoritative across crash()/recover(), so it lives in its
+            # own small shared segment rather than parent DRAM.
+            self._routing_zone = SharedZone.create(
+                ZoneLayout(
+                    num_buckets=1,
+                    bucket_bytes=1,
+                    routing_slots=self.n_shards * config.router_vbuckets,
+                )
+            )
+            self._router = RoutingTable(
+                self.n_shards,
+                config.router_vbuckets,
+                table=self._routing_zone.view("routing"),
+                meta=self._routing_zone.view("routing_meta"),
+            )
+        else:
+            self._router = RoutingTable(self.n_shards, config.router_vbuckets)
+        #: The routing latch: K/V paths read-pin the epoch, the
+        #: rebalancer write-locks it before editing the table.
+        self._epoch = RoutingLatch()
+        self._rebalancer = (
+            Rebalancer(self) if self.rebalance_enabled else None
+        )
         # Size the pool to the CPUs this process can actually run on: on
         # a single-CPU host threads only add GIL churn, so sub-batches
         # run serially there (the per-shard probe-set reduction is the
@@ -291,6 +342,11 @@ class ShardedPNWStore:
             with self._quiesced():
                 for store in self.stores:
                     store.shutdown()
+        if self._routing_zone is not None:
+            self._router.detach()
+            self._routing_zone.close()
+            self._routing_zone.unlink()
+            self._routing_zone = None
 
     def __enter__(self) -> "ShardedPNWStore":
         return self
@@ -299,8 +355,53 @@ class ShardedPNWStore:
         self.close()
 
     def shard_of_key(self, key: bytes) -> int:
-        """The shard that owns ``key`` (stable across the store's life)."""
-        return shard_of(key, self.n_shards, self.config.key_bytes)
+        """The shard that owns ``key`` under the *current* routing table
+        (identical to the historical ``hash % n_shards`` until a bucket
+        migration edits the table).  Callers that must act on a stable
+        answer should hold :meth:`routing_pin` across use."""
+        normalized = KeyIndex.normalize_key(key, self.config.key_bytes)
+        return self._router.shard_of_hash(
+            stable_hash64(normalized, seed=ROUTER_SEED)
+        )
+
+    def _assign(self, normalized_keys: list[bytes]) -> list[int]:
+        """Owning shard per normalized key, through the routing table
+        (one vectorized hash + one fancy-index op)."""
+        return self._router.assign_hashes(
+            hash_keys(normalized_keys)
+        ).tolist()
+
+    @property
+    def routing_epoch(self) -> int:
+        """The routing table's version; ``0`` means the FNV default.
+        The ingestion layer compares epochs at dispatch to re-route
+        batches laned under an older table."""
+        return self._router.version
+
+    def routing_pin(self):
+        """Read-hold on the routing epoch for the block (reentrant per
+        thread).  While held, no bucket migration can run, so routing
+        answers and shard-addressed batches stay mutually consistent."""
+        return self._epoch.read_locked()
+
+    def rebalance_check(self, ops: int = 1) -> bool:
+        """Account ``ops`` toward the rebalance check interval and run a
+        watermark-triggered rebalance pass when due.  No-op (False) when
+        ``rebalance_mode="off"``.  Must not be called while holding a
+        routing pin issued to the same thread's caller — the store's own
+        entry points call this *before* pinning."""
+        if self._rebalancer is None:
+            return False
+        return self._rebalancer.maybe_rebalance(ops)
+
+    def router_stats(self) -> RouterStats:
+        """Routing/rebalancing counters (a consistent snapshot)."""
+        with self._stats_lock:
+            return self._router_stats.snapshot()
+
+    def _count_routed(self, shard_id: int, ops: int = 1) -> None:
+        with self._stats_lock:
+            self._router_stats.routed_ops[shard_id] += ops
 
     def global_address(self, shard_id: int, local_address: int) -> int:
         """Map a shard-local bucket address into the global address space."""
@@ -388,6 +489,9 @@ class ShardedPNWStore:
         groups: list[list[int]] = [[] for _ in range(self.n_shards)]
         for position, shard_id in enumerate(shard_ids):
             groups[shard_id].append(position)
+        with self._stats_lock:
+            for shard_id, positions in enumerate(groups):
+                self._router_stats.routed_ops[shard_id] += len(positions)
         tasks: dict[int, Callable[[], list[OperationReport]]] = {}
         for shard_id, positions in enumerate(groups):
             if positions:
@@ -489,7 +593,17 @@ class ShardedPNWStore:
             for shard_id, runs in batches.items()
             if runs
         }
-        results, errors = self._map_shards(tasks)
+        # Pinned: the batches were routed under the caller's view of the
+        # table, so no migration may slide between routing and execution.
+        # Reentrant for the ingest drain, which pins around the whole
+        # route-and-dispatch sequence.
+        with self._epoch.read_locked():
+            with self._stats_lock:
+                for shard_id, runs in batches.items():
+                    self._router_stats.routed_ops[shard_id] += sum(
+                        len(items) for _, items in runs
+                    )
+            results, errors = self._map_shards(tasks)
         if errors:  # pragma: no cover - run_shard captures its exceptions
             raise errors[min(errors)]
         return results
@@ -559,13 +673,60 @@ class ShardedPNWStore:
         Shards recover independently — a shard torn mid-flush loses only
         its own unflagged operations; sibling shards come back whole.
         Quiesced (all shard locks, ascending) like ``crash()``.
+
+        When the routing table has ever been edited (``version > 0``), a
+        post-recovery sweep reconciles migration orphans: a crash
+        between a bucket migration's copy and its donor delete leaves
+        keys resident off their routed shard.  The table is
+        authoritative — the routed owner's copy wins (it always carries
+        the key's latest committed value), strays are deleted, and a
+        stray whose owner lost its copy to the crash is moved home.  A
+        key is therefore never lost and never double-owned after
+        ``recover()`` returns.
         """
         with self._quiesced():
             _, errors = self._map_shards_quiesced(
                 {i: store.recover for i, store in enumerate(self.stores)}
             )
+            # Sweep whenever a migration *could* have run: a crash
+            # before the first-ever table flip leaves orphans at
+            # version 0, so the version alone can't gate it.
+            if not errors and (
+                self.rebalance_enabled or self._router.version > 0
+            ):
+                self._sweep_misplaced_quiesced()
         if errors:
             raise errors[min(errors)]
+
+    def _sweep_misplaced_quiesced(self) -> None:
+        """Delete (or re-home) every key resident off its routed shard.
+        Caller holds all shard locks."""
+        swept = 0
+        for shard_id, shard_store in enumerate(self.stores):
+            keys = [key for key, _ in list(shard_store.index.items())]
+            if not keys:
+                continue
+            owners = self._router.assign_hashes(hash_keys(keys)).tolist()
+            strays = [
+                key
+                for key, owner in zip(keys, owners)
+                if owner != shard_id
+            ]
+            if not strays:
+                continue
+            for key, owner in zip(keys, owners):
+                if owner == shard_id:
+                    continue
+                owner_store = self.stores[owner]
+                if key not in owner_store:
+                    # The owner lost its copy to the crash; this stray
+                    # holds the only committed value — move it home.
+                    owner_store.put_many([(key, shard_store.get(key))])
+            shard_store.delete_many(strays)
+            swept += len(strays)
+        if swept:
+            with self._stats_lock:
+                self._router_stats.orphans_swept += swept
 
     # ------------------------------------------------------------------ #
     # K/V operations                                                      #
@@ -573,19 +734,25 @@ class ShardedPNWStore:
 
     def put(self, key: bytes, value: bytes | np.ndarray) -> OperationReport:
         """Route one PUT to its shard (Algorithm 2 there)."""
-        shard_id = self.shard_of_key(key)
-        with self._shard_locks[shard_id]:
-            return self._globalize(
-                shard_id, self.stores[shard_id].put(key, value)
-            )
+        self.rebalance_check()
+        with self._epoch.read_locked():
+            shard_id = self.shard_of_key(key)
+            self._count_routed(shard_id)
+            with self._shard_locks[shard_id]:
+                return self._globalize(
+                    shard_id, self.stores[shard_id].put(key, value)
+                )
 
     def put_unique(self, key: bytes, value: bytes | np.ndarray) -> OperationReport:
         """PUT that refuses to overwrite, routed to the owning shard."""
-        shard_id = self.shard_of_key(key)
-        with self._shard_locks[shard_id]:
-            return self._globalize(
-                shard_id, self.stores[shard_id].put_unique(key, value)
-            )
+        self.rebalance_check()
+        with self._epoch.read_locked():
+            shard_id = self.shard_of_key(key)
+            self._count_routed(shard_id)
+            with self._shard_locks[shard_id]:
+                return self._globalize(
+                    shard_id, self.stores[shard_id].put_unique(key, value)
+                )
 
     def put_many(
         self,
@@ -603,69 +770,85 @@ class ShardedPNWStore:
         routing as the membership test.
         """
         items = list(pairs)
-        keys = [
-            KeyIndex.normalize_key(key, self.config.key_bytes)
-            for key, _ in items
-        ]
-        shard_ids = assign_shards(keys, self.n_shards)
-        if unique:
-            owner = dict(zip(keys, shard_ids))
-            check_unique(keys, lambda key: key in self.stores[owner[key]])
-        return self._run_batch(
-            items, shard_ids, lambda store, sub: store.put_many(sub)
-        )
+        self.rebalance_check(len(items))
+        with self._epoch.read_locked():
+            keys = [
+                KeyIndex.normalize_key(key, self.config.key_bytes)
+                for key, _ in items
+            ]
+            shard_ids = self._assign(keys)
+            if unique:
+                owner = dict(zip(keys, shard_ids))
+                check_unique(
+                    keys, lambda key: key in self.stores[owner[key]]
+                )
+            return self._run_batch(
+                items, shard_ids, lambda store, sub: store.put_many(sub)
+            )
 
     def update_many(
         self, pairs: Iterable[tuple[bytes, bytes | np.ndarray]]
     ) -> list[OperationReport]:
         """Batched UPDATE across shards; reports in input order."""
         items = list(pairs)
-        keys = [
-            KeyIndex.normalize_key(key, self.config.key_bytes)
-            for key, _ in items
-        ]
-        return self._run_batch(
-            items,
-            assign_shards(keys, self.n_shards),
-            lambda store, sub: store.update_many(sub),
-        )
+        self.rebalance_check(len(items))
+        with self._epoch.read_locked():
+            keys = [
+                KeyIndex.normalize_key(key, self.config.key_bytes)
+                for key, _ in items
+            ]
+            return self._run_batch(
+                items,
+                self._assign(keys),
+                lambda store, sub: store.update_many(sub),
+            )
 
     def delete_many(self, keys: Iterable[bytes]) -> list[OperationReport]:
         """Batched DELETE across shards; reports in input order."""
         normalized = [
             KeyIndex.normalize_key(key, self.config.key_bytes) for key in keys
         ]
-        return self._run_batch(
-            normalized,
-            assign_shards(normalized, self.n_shards),
-            lambda store, sub: store.delete_many(sub),
-        )
+        self.rebalance_check(len(normalized))
+        with self._epoch.read_locked():
+            return self._run_batch(
+                normalized,
+                self._assign(normalized),
+                lambda store, sub: store.delete_many(sub),
+            )
 
     def update(self, key: bytes, value: bytes | np.ndarray) -> OperationReport:
         """Route one UPDATE to its shard."""
-        shard_id = self.shard_of_key(key)
-        with self._shard_locks[shard_id]:
-            return self._globalize(
-                shard_id, self.stores[shard_id].update(key, value)
-            )
+        self.rebalance_check()
+        with self._epoch.read_locked():
+            shard_id = self.shard_of_key(key)
+            self._count_routed(shard_id)
+            with self._shard_locks[shard_id]:
+                return self._globalize(
+                    shard_id, self.stores[shard_id].update(key, value)
+                )
 
     def delete(self, key: bytes) -> OperationReport:
         """Route one DELETE to its shard (Algorithm 3 there)."""
-        shard_id = self.shard_of_key(key)
-        with self._shard_locks[shard_id]:
-            return self._globalize(
-                shard_id, self.stores[shard_id].delete(key)
-            )
+        self.rebalance_check()
+        with self._epoch.read_locked():
+            shard_id = self.shard_of_key(key)
+            self._count_routed(shard_id)
+            with self._shard_locks[shard_id]:
+                return self._globalize(
+                    shard_id, self.stores[shard_id].delete(key)
+                )
 
     def get(self, key: bytes) -> bytes:
         """Route a GET to its shard: index lookup + data-zone read.
 
-        Takes only the owning shard's lock, so reads proceed
-        concurrently with other shards' writes.
+        Takes only the owning shard's lock (under a routing pin), so
+        reads proceed concurrently with other shards' writes.
         """
-        shard_id = self.shard_of_key(key)
-        with self._shard_locks[shard_id]:
-            return self.stores[shard_id].get(key)
+        with self._epoch.read_locked():
+            shard_id = self.shard_of_key(key)
+            self._count_routed(shard_id)
+            with self._shard_locks[shard_id]:
+                return self.stores[shard_id].get(key)
 
     # ------------------------------------------------------------------ #
     # aggregation / introspection                                         #
@@ -766,7 +949,8 @@ class ShardedPNWStore:
         return len(self) / self.config.num_buckets
 
     def __contains__(self, key: bytes) -> bool:
-        return key in self.stores[self.shard_of_key(key)]
+        with self._epoch.read_locked():
+            return key in self.stores[self.shard_of_key(key)]
 
     def __len__(self) -> int:
         return sum(len(store) for store in self.stores)

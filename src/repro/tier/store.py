@@ -72,6 +72,7 @@ concurrency.
 
 from __future__ import annotations
 
+import contextlib
 import threading
 from typing import Iterable
 
@@ -194,6 +195,38 @@ class TieredStore:
             return self.store.shard_of_key(key)
         self._normalize(key)  # single-zone: still validate the key
         return 0
+
+    # Routing passthroughs: the tier is transparent to load-aware
+    # routing.  A migration while entries sit in a write buffer is
+    # benign — flushes route fresh through ``store.put_many`` — but the
+    # ingest layer still needs the epoch/pin surface to re-lane pending
+    # runs, so delegate when the backing store is sharded.
+
+    @property
+    def routing_epoch(self) -> int:
+        """The backing store's routing-table version (0 when single)."""
+        return getattr(self.store, "routing_epoch", 0)
+
+    def routing_pin(self):
+        """Read-hold on the backing store's routing epoch."""
+        pin = getattr(self.store, "routing_pin", None)
+        if pin is None:
+            return contextlib.nullcontext()
+        return pin()
+
+    def rebalance_check(self, ops: int = 1) -> bool:
+        """Forward rebalance accounting to the backing store."""
+        check = getattr(self.store, "rebalance_check", None)
+        if check is None:
+            return False
+        return check(ops)
+
+    def router_stats(self):
+        """The backing store's routing counters, or ``None``."""
+        stats = getattr(self.store, "router_stats", None)
+        if stats is None:
+            return None
+        return stats()
 
     @property
     def tier_stats(self) -> TierStats:

@@ -1,0 +1,332 @@
+"""Live shard rebalancing: policies, watermark-triggered migration,
+mid-migration crash semantics, routing-epoch re-lane in the ingest
+layer, and process-executor survival (worker kill + kill -9 respawn
+agreement via the shared-memory routing table)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import IngestQueue, PNWConfig, ShardedPNWStore
+from repro.index.base import KeyIndex, stable_hash64
+from repro.shard import ROUTER_SEED, shard_of
+from repro.shard.rebalance import (
+    RoutingLatch,
+    SimulatedRebalanceCrash,
+    greedy_moves,
+    hot_bucket_moves,
+)
+from tests.conftest import clustered_values
+
+
+def make_config(**overrides) -> PNWConfig:
+    base = dict(
+        num_buckets=256,
+        value_bytes=24,
+        key_bytes=8,
+        n_clusters=4,
+        seed=7,
+        n_init=1,
+        max_iter=10,
+        shards=4,
+        rebalance_mode="watermark",
+        rebalance_low_watermark=0.2,
+        rebalance_check_interval=16,
+        rebalance_max_keys=64,
+        router_vbuckets=16,
+    )
+    base.update(overrides)
+    return PNWConfig(**base)
+
+
+def warmed(config: PNWConfig, **kwargs) -> ShardedPNWStore:
+    store = ShardedPNWStore(config, **kwargs)
+    rng = np.random.default_rng(42)
+    store.warm_up(clustered_values(rng, config.num_buckets, config.value_bytes))
+    return store
+
+
+def hot_pairs(config: PNWConfig, n: int, shard: int = 0):
+    """``n`` distinct keys whose *default* routing lands on ``shard``."""
+    pairs = []
+    i = 0
+    while len(pairs) < n:
+        key = b"h%07d" % i
+        i += 1
+        if shard_of(key, config.shards, config.key_bytes) == shard:
+            pairs.append((key, b"value-of:" + key))
+    return pairs
+
+
+def padded(value: bytes, config: PNWConfig) -> bytes:
+    return value.ljust(config.value_bytes, b"\x00")
+
+
+def assert_oracle(store: ShardedPNWStore, pairs) -> None:
+    """Every acked key readable with its latest value, resident exactly
+    once, and resident on the shard the table routes it to."""
+    config = store.config
+    assert len(store) == len(pairs)
+    assert sum(len(shard) for shard in store.stores) == len(pairs)
+    for key, value in pairs:
+        assert store.get(key) == padded(value, config)
+    for shard_id, shard in enumerate(store.stores):
+        for key, _ in list(shard.index.items()):
+            assert store.shard_of_key(key) == shard_id
+
+
+def fill_hot(store: ShardedPNWStore, n: int = 56):
+    """Load ``n`` keys that all route to shard 0 under the default
+    table, batched so the fill itself stays under the watermark's
+    trigger points (the explicit check afterwards is the trigger)."""
+    pairs = hot_pairs(store.config, n)
+    for start in range(0, len(pairs), 8):
+        store.put_many(pairs[start : start + 8])
+    return pairs
+
+
+# ---------------------------------------------------------------------- #
+# the latch                                                               #
+# ---------------------------------------------------------------------- #
+
+def test_routing_latch_reentrant_reads_and_writer_guard():
+    latch = RoutingLatch()
+    with latch.read_locked():
+        assert latch.read_depth() == 1
+        with latch.read_locked():
+            assert latch.read_depth() == 2
+        assert latch.read_depth() == 1
+        with pytest.raises(RuntimeError):
+            with latch.write_locked():
+                pass  # pragma: no cover - must not be reached
+    assert latch.read_depth() == 0
+    with latch.write_locked():
+        pass
+    with latch.read_locked():
+        pass
+
+
+# ---------------------------------------------------------------------- #
+# policies                                                                #
+# ---------------------------------------------------------------------- #
+
+def test_greedy_moves_flatten_a_hot_shard():
+    n_shards, per_shard = 4, 4
+    table = np.arange(n_shards * per_shard, dtype=np.int32) % n_shards
+    counts = np.zeros(n_shards * per_shard, dtype=np.int64)
+    counts[table == 0] = 40  # shard 0 holds everything
+    capacities = np.full(n_shards, 64, dtype=np.int64)
+    moves = greedy_moves(counts, table, capacities)
+    assert moves
+    applied = table.copy()
+    for bucket, recipient in moves:
+        assert applied[bucket] == 0  # only the hot shard donates
+        applied[bucket] = recipient
+    loads = [int(counts[applied == s].sum()) for s in range(n_shards)]
+    assert max(loads) < int(counts.sum())  # strictly better than before
+
+
+def test_greedy_no_moves_when_balanced():
+    table = np.arange(8, dtype=np.int32) % 2
+    counts = np.full(8, 10, dtype=np.int64)
+    assert greedy_moves(counts, table, np.array([64, 64])) == []
+
+
+def test_hot_bucket_moves_single_heaviest():
+    table = np.arange(8, dtype=np.int32) % 2
+    counts = np.zeros(8, dtype=np.int64)
+    counts[0] = 30
+    counts[2] = 5
+    moves = hot_bucket_moves(counts, table, np.array([64, 64]))
+    assert moves == [(0, 1)]
+    assert hot_bucket_moves(
+        np.zeros(8, dtype=np.int64), table, np.array([64, 64])
+    ) == []
+
+
+# ---------------------------------------------------------------------- #
+# end-to-end rebalancing (thread executor)                                #
+# ---------------------------------------------------------------------- #
+
+def test_watermark_rebalance_spreads_a_skewed_load():
+    store = warmed(make_config())
+    pairs = fill_hot(store)
+    assert len(store.stores[0]) == len(pairs)  # all hot before the pass
+    assert store.rebalance_check(1_000) is True
+    stats = store.router_stats()
+    assert stats.rebalances >= 1
+    assert stats.bucket_moves > 0
+    assert stats.keys_migrated > 0
+    assert store.routing_epoch == stats.bucket_moves
+    # The donor shed real load and nobody lost a key.
+    assert len(store.stores[0]) < len(pairs)
+    assert_oracle(store, pairs)
+    # Updates and deletes keep routing to the migrated homes.
+    key, _ = pairs[0]
+    store.update(key, b"fresh")
+    assert store.get(key) == padded(b"fresh", store.config)
+    store.delete(key)
+    assert key not in store
+    assert len(store) == len(pairs) - 1
+
+
+def test_hot_bucket_policy_moves_one_bucket_per_pass():
+    store = warmed(make_config(rebalance_policy="hot_bucket"))
+    pairs = fill_hot(store)
+    assert store.rebalance_check(1_000) is True
+    assert store.router_stats().bucket_moves == 1
+    assert_oracle(store, pairs)
+
+
+def test_rebalance_off_never_moves():
+    store = warmed(make_config(rebalance_mode="off"))
+    pairs = fill_hot(store)
+    assert store.rebalance_check(1_000_000) is False
+    assert store.routing_epoch == 0
+    assert len(store.stores[0]) == len(pairs)
+    assert_oracle(store, pairs)
+
+
+def test_rebalanced_store_survives_crash_recover():
+    store = warmed(make_config())
+    pairs = fill_hot(store)
+    assert store.rebalance_check(1_000) is True
+    store.crash()
+    store.recover()
+    # Nothing was mid-migration, so nothing needed sweeping.
+    assert store.router_stats().orphans_swept == 0
+    assert_oracle(store, pairs)
+
+
+# ---------------------------------------------------------------------- #
+# mid-migration crash semantics                                           #
+# ---------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("crash_point", ["copy", "flip"])
+def test_crash_mid_migration_loses_no_keys(crash_point):
+    store = warmed(make_config())
+    pairs = fill_hot(store)
+    store._rebalancer._crash_point = crash_point
+    with pytest.raises(SimulatedRebalanceCrash):
+        store.rebalance_check(1_000)
+    store._rebalancer._crash_point = None
+    if crash_point == "copy":
+        # Crash before the first flip: the donor stays authoritative.
+        assert store.routing_epoch == 0
+    else:
+        assert store.routing_epoch == 1
+    store.crash()
+    store.recover()
+    # The losing copies (recipient's for "copy", donor's for "flip")
+    # are orphans the recovery sweep reconciles; the committed K/V
+    # data itself survives byte-for-byte.
+    assert store.router_stats().orphans_swept > 0
+    assert_oracle(store, pairs)
+    # The store stays fully operational: a later pass completes.  (The
+    # recovered layout can sit just under the watermark, so drive the
+    # pass directly rather than through the trigger.)
+    with store._epoch.write_locked(), store._quiesced():
+        assert store._rebalancer._rebalance_quiesced() > 0
+    assert_oracle(store, pairs)
+
+
+def test_randomized_stream_with_rebalances_matches_oracle():
+    store = warmed(make_config(rebalance_check_interval=8))
+    rng = np.random.default_rng(77)
+    oracle: dict[bytes, bytes] = {}
+    hot = [key for key, _ in hot_pairs(store.config, 80)]
+    serial = 0
+    for round_id in range(30):
+        batch = []
+        for _ in range(8):
+            if oracle and rng.random() < 0.25:
+                victim = sorted(oracle)[int(rng.integers(len(oracle)))]
+                store.delete(victim)
+                del oracle[victim]
+                continue
+            if rng.random() < 0.75:
+                key = hot[serial % len(hot)]
+            else:
+                key = b"c%06d" % serial
+            serial += 1
+            value = b"r%03d:%s" % (round_id, key)
+            batch.append((key, value))
+        seen = set()
+        deduped = []
+        for key, value in batch:
+            if key in seen:
+                continue  # keep the test's oracle trivially last-write
+            seen.add(key)
+            deduped.append((key, value))
+        if deduped:
+            store.put_many(deduped)
+            oracle.update(deduped)
+    store.crash()
+    store.recover()
+    assert len(store) == len(oracle)
+    for key, value in oracle.items():
+        assert store.get(key) == padded(value, store.config)
+    assert store.routing_epoch > 0  # the stream really did rebalance
+
+
+# ---------------------------------------------------------------------- #
+# ingest integration: stale lanes re-route at dispatch                    #
+# ---------------------------------------------------------------------- #
+
+def test_ingest_relanes_after_epoch_change():
+    config = make_config(rebalance_mode="off")
+    store = warmed(config)
+    queue = IngestQueue(store, max_batch=64, autostart=False)
+    pairs = hot_pairs(config, 12)
+    futures = [queue.put(key, value) for key, value in pairs]
+    # A "migration" slides in while the ops sit in their shard-0 lane:
+    # move every bucket the pending keys hash to over to shard 3.  (No
+    # committed keys live in those buckets, so the bare table edit is a
+    # complete migration.)
+    with store._epoch.write_locked():
+        for key, _ in pairs:
+            normalized = KeyIndex.normalize_key(key, config.key_bytes)
+            bucket = store._router.bucket_of_hash(
+                stable_hash64(normalized, seed=ROUTER_SEED)
+            )
+            store._router.move(bucket, 3)
+    assert store.routing_epoch > 0
+    queue.flush()
+    for future, (key, value) in zip(futures, pairs):
+        report = future.result(timeout=5)
+        assert report.op == "put"
+        assert store.shard_of_key(key) == 3
+        assert key in store.stores[3]
+        assert store.get(key) == padded(value, config)
+    queue.close()
+
+
+# ---------------------------------------------------------------------- #
+# process executor                                                        #
+# ---------------------------------------------------------------------- #
+
+def test_process_rebalance_worker_kill_and_respawn_agreement():
+    store = warmed(make_config(), executor="process")
+    try:
+        pairs = fill_hot(store)
+        # Kill a recipient worker at its next flush: the migration's
+        # copy batch dies mid-commit (one row written, none flagged),
+        # the client respawns the worker over the surviving shared
+        # zone, and the migration retries to completion.  Shard 1 is
+        # the least-loaded shard, so it receives the first bucket.
+        store.stores[1].sabotage_next_flush(1)
+        assert store.rebalance_check(1_000) is True
+        stats = store.router_stats()
+        assert stats.bucket_moves > 0
+        assert stats.migration_batches_retried >= 1
+        assert_oracle(store, pairs)
+        # crash()/recover() and respawned workers agree on ownership:
+        # the routing table lives in shared memory, so a full
+        # power-fail cycle recovers against the *migrated* layout.
+        store.crash()
+        store.recover()
+        assert store.router_stats().orphans_swept == 0
+        assert_oracle(store, pairs)
+    finally:
+        store.close()
